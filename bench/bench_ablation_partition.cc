@@ -1,0 +1,93 @@
+// Ablation: AVS-level mass-balanced partitioning (Figure 6) vs the naive
+// equal-vertex-count split. The paper's claim (Section 5) is that
+// partitioning the vertex range by *expected edge mass* avoids the workload
+// skew that plagues shuffle-based methods; this bench quantifies the skew a
+// naive split would have produced.
+// Expected shape: with equal vertex counts, worker 0 (which owns the
+// power-law head) does several times the average work; with CDF
+// partitioning all workers are within a few percent of each other.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/sim_cluster.h"
+#include "core/avs_generator.h"
+#include "core/partitioner.h"
+#include "core/trilliong.h"
+#include "model/noise.h"
+
+namespace {
+
+constexpr int kScale = 19;
+constexpr int kWorkers = 4;
+
+struct Imbalance {
+  double max_seconds;
+  double mean_seconds;
+  std::vector<std::uint64_t> edges;
+};
+
+Imbalance RunWithBoundaries(const tg::model::NoiseVector& noise,
+                            const std::vector<tg::VertexId>& boundaries) {
+  tg::cluster::SimCluster cluster({kWorkers, 1, 0, {}});
+  std::vector<double> busy(kWorkers, 0);
+  std::vector<std::uint64_t> edges(kWorkers, 0);
+  tg::core::AvsRangeGenerator<double> generator(
+      &noise, 16ULL << kScale, tg::core::DeterminerOptions{});
+  const tg::rng::Rng root(42, 1);
+  cluster.RunParallel([&](int w) {
+    double start = tg::ThreadCpuSeconds();
+    tg::core::CountingSink sink;
+    tg::core::AvsWorkerStats stats = generator.GenerateRange(
+        boundaries[w], boundaries[w + 1], root, &sink);
+    edges[w] = stats.num_edges;
+    busy[w] = tg::ThreadCpuSeconds() - start;
+  });
+  Imbalance result;
+  result.max_seconds = *std::max_element(busy.begin(), busy.end());
+  double total = 0;
+  for (double b : busy) total += b;
+  result.mean_seconds = total / kWorkers;
+  result.edges = edges;
+  return result;
+}
+
+void Report(const char* name, const Imbalance& r) {
+  std::printf("%-22s max %.3f s, mean %.3f s, imbalance %.2fx, edges:", name,
+              r.max_seconds, r.mean_seconds, r.max_seconds / r.mean_seconds);
+  for (std::uint64_t e : r.edges) {
+    std::printf(" %llu", static_cast<unsigned long long>(e));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  tg::bench::Banner(
+      "Ablation: AVS mass partitioning (Figure 6) vs equal-vertex split, "
+      "Scale 19, 4 workers",
+      "Park & Kim, SIGMOD'17, Section 5 / Figure 6",
+      "CDF partitioning: imbalance ~1.0x; equal-vertex split: worker 0 "
+      "does ~2-3x the average work");
+
+  tg::model::NoiseVector noise(tg::model::SeedMatrix::Graph500(), kScale);
+
+  // Naive: equal vertex counts.
+  const tg::VertexId n = tg::VertexId{1} << kScale;
+  std::vector<tg::VertexId> equal_split = {0, n / 4, n / 2, 3 * n / 4, n};
+  Report("equal-vertex split", RunWithBoundaries(noise, equal_split));
+
+  // Figure 6: equal expected edge mass.
+  std::vector<tg::VertexId> by_mass =
+      tg::core::PartitionByCdf(noise, kWorkers);
+  Report("CDF mass partition", RunWithBoundaries(noise, by_mass));
+
+  std::printf(
+      "\nverdict: the equal-vertex imbalance is what RMAT/p suffers after "
+      "its shuffle (Section 3.2); TrillionG's partitioner removes it before "
+      "any edge is generated.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: RecVec arithmetic precision — double vs DoubleDouble (the
+// paper's BigDecimal stand-in; Section 5 argues double "might not be
+// accurate enough ... for trillion-scale graphs").
+// Expected shape: DoubleDouble costs a constant factor (~2-4x) in generation
+// throughput while producing a statistically identical graph at these
+// scales; at trillion scale the extra mantissa bits are what keep the
+// Theorem 2 translation exact (see the RecVec tests for the agreement
+// bound).
+
+#include <cstdio>
+
+#include "analysis/degree_dist.h"
+#include "bench_util.h"
+#include "core/trilliong.h"
+#include "util/stopwatch.h"
+
+int main() {
+  tg::bench::Banner(
+      "Ablation: RecVec precision — double vs DoubleDouble (Scale 19)",
+      "Park & Kim, SIGMOD'17, Section 5 (BigDecimal for RecVec)",
+      "DoubleDouble ~2-4x slower, identical degree distribution");
+
+  tg::core::TrillionGConfig config;
+  config.scale = 19;
+  config.edge_factor = 16;
+  config.num_workers = 1;
+
+  tg::analysis::DegreeHistogram hist_double, hist_dd;
+  std::printf("\n%-14s %10s %14s %12s\n", "precision", "seconds",
+              "Medges/sec", "edges");
+  double seconds_double = 0, seconds_dd = 0;
+  for (bool dd : {false, true}) {
+    config.precision = dd ? tg::core::Precision::kDoubleDouble
+                          : tg::core::Precision::kDouble;
+    tg::analysis::DegreeSink sink(config.NumVertices());
+    tg::Stopwatch watch;
+    tg::core::GenerateStats stats = tg::core::GenerateToSink(config, &sink);
+    double seconds = watch.ElapsedSeconds();
+    (dd ? seconds_dd : seconds_double) = seconds;
+    (dd ? hist_dd : hist_double) = sink.OutHistogram();
+    std::printf("%-14s %10.3f %14.2f %12llu\n",
+                dd ? "DoubleDouble" : "double", seconds,
+                stats.num_edges / seconds / 1e6,
+                static_cast<unsigned long long>(stats.num_edges));
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nslowdown: %.2fx; out-degree distribution KS distance: %.4f "
+      "(same stochastic process, same RNG stream)\n",
+      seconds_dd / seconds_double,
+      tg::analysis::DegreeHistogram::KsDistance(hist_double, hist_dd));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Table 2: complexities of the naive CDF-vector method (linear / binary
+// search) vs the recursive vector model (RecVec). Reports per-edge
+// determination time and the memory of each data structure across scales.
+// Expected shape: CDF-linear is O(|V|) per edge and hopeless; CDF-binary
+// matches RecVec in time but needs O(|V|) memory per scope; RecVec needs
+// O(log|V|) memory (a few hundred bytes even at trillion scale).
+
+#include <benchmark/benchmark.h>
+
+#include "core/cdf_vector.h"
+#include "core/edge_determiner.h"
+#include "core/rec_vec.h"
+#include "model/noise.h"
+#include "model/seed_matrix.h"
+#include "rng/random.h"
+
+namespace {
+
+using tg::core::CdfVector;
+using tg::core::RecVec;
+using tg::model::NoiseVector;
+using tg::model::SeedMatrix;
+
+constexpr tg::VertexId kSourceVertex = 0x155;  // arbitrary mid-density row
+
+void BM_CdfLinear(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  CdfVector cdf(noise, kSourceVertex & ((tg::VertexId{1} << scale) - 1));
+  tg::rng::Rng rng(42);
+  for (auto _ : state) {
+    double x = rng.NextDouble(cdf.Total());
+    benchmark::DoNotOptimize(cdf.InvertLinear(x));
+  }
+  state.counters["struct_bytes"] = static_cast<double>(cdf.MemoryBytes());
+}
+
+void BM_CdfBinary(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  CdfVector cdf(noise, kSourceVertex & ((tg::VertexId{1} << scale) - 1));
+  tg::rng::Rng rng(42);
+  for (auto _ : state) {
+    double x = rng.NextDouble(cdf.Total());
+    benchmark::DoNotOptimize(cdf.InvertBinary(x));
+  }
+  state.counters["struct_bytes"] = static_cast<double>(cdf.MemoryBytes());
+}
+
+void BM_RecVec(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  RecVec<double> rv(noise, kSourceVertex & ((tg::VertexId{1} << scale) - 1));
+  tg::rng::Rng rng(42);
+  for (auto _ : state) {
+    double x = tg::core::NextUniformReal<double>(&rng, rv.Total());
+    benchmark::DoNotOptimize(tg::core::DetermineEdge(rv, x));
+  }
+  state.counters["struct_bytes"] = static_cast<double>(rv.MemoryBytes());
+}
+
+void BM_RecVecDoubleDouble(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  RecVec<tg::numeric::DoubleDouble> rv(
+      noise, kSourceVertex & ((tg::VertexId{1} << scale) - 1));
+  tg::rng::Rng rng(42);
+  for (auto _ : state) {
+    tg::numeric::DoubleDouble x =
+        tg::core::NextUniformReal<tg::numeric::DoubleDouble>(&rng, rv.Total());
+    benchmark::DoNotOptimize(tg::core::DetermineEdge(rv, x));
+  }
+  state.counters["struct_bytes"] = static_cast<double>(rv.MemoryBytes());
+}
+
+void BM_RecVecConstruction(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  RecVec<double> rv;
+  tg::VertexId u = 0;
+  for (auto _ : state) {
+    rv.Build(noise, (u++) & ((tg::VertexId{1} << scale) - 1));
+    benchmark::DoNotOptimize(rv);
+  }
+}
+
+// CDF-vector scales are capped at 2^24 (128 MiB per scope — the point).
+BENCHMARK(BM_CdfLinear)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_CdfBinary)->Arg(12)->Arg(16)->Arg(20)->Arg(24);
+BENCHMARK(BM_RecVec)->Arg(12)->Arg(16)->Arg(20)->Arg(24)->Arg(30)->Arg(36);
+BENCHMARK(BM_RecVecDoubleDouble)->Arg(20)->Arg(36);
+BENCHMARK(BM_RecVecConstruction)->Arg(20)->Arg(36);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+#ifndef TRILLIONG_BENCH_BENCH_UTIL_H_
+#define TRILLIONG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "util/common.h"
+#include "util/stopwatch.h"
+
+namespace tg::bench {
+
+/// Prints a figure/table banner so the bench output reads like the paper's
+/// evaluation section.
+inline void Banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Runs `fn`, returning formatted elapsed seconds — or "O.O.M" if the run
+/// exceeded its memory budget (exactly how the paper's figures annotate
+/// methods that die; Figures 11 and 14).
+inline std::string TimeOrOom(const std::function<void()>& fn) {
+  Stopwatch watch;
+  try {
+    fn();
+  } catch (const OomError&) {
+    return "O.O.M";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", watch.ElapsedSeconds());
+  return buf;
+}
+
+/// Human-readable byte count.
+inline std::string HumanBytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / 1073741824.0);
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / 1048576.0);
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace tg::bench
+
+#endif  // TRILLIONG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,27 @@
+# Bench harness targets. Included from the top-level CMakeLists with
+# include(), so executables land directly in ${CMAKE_BINARY_DIR}/bench with
+# no other build artifacts beside them: `for b in build/bench/*; do $b; done`
+# runs the full suite.
+set(TG_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(tg_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE trilliong benchmark::benchmark)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY
+                                           ${TG_BENCH_DIR})
+endfunction()
+
+tg_add_bench(bench_table1_complexity)
+tg_add_bench(bench_table2_recvec)
+tg_add_bench(bench_table3_distributions)
+tg_add_bench(bench_fig8_degree_dist)
+tg_add_bench(bench_fig9_nskg_noise)
+tg_add_bench(bench_fig10_erv)
+tg_add_bench(bench_fig11a_single_thread)
+tg_add_bench(bench_fig11b_distributed)
+tg_add_bench(bench_fig12_scalability)
+tg_add_bench(bench_fig13_ideas)
+tg_add_bench(bench_fig14_graph500)
+tg_add_bench(bench_ablation_partition)
+tg_add_bench(bench_ablation_precision)

@@ -1,0 +1,49 @@
+// convert_format: offline conversions between the graph formats of
+// Section 5, plus CSR6 shard merging.
+//
+//   ./convert_format --mode=tsv2adj6  --in=g.tsv  --out=g.adj6
+//   ./convert_format --mode=adj62tsv  --in=g.adj6 --out=g.tsv
+//   ./convert_format --mode=adj62csr6 --in=g.adj6 --out=g.csr6 --vertices=N
+//   ./convert_format --mode=mergecsr6 --out=g.csr6 shard0.csr6 shard1.csr6 ...
+
+#include <cstdio>
+
+#include "format/convert.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  tg::FlagParser flags(argc, argv);
+  const std::string mode = flags.GetString("mode", "");
+  const std::string in = flags.GetString("in", "");
+  const std::string out = flags.GetString("out", "");
+  if (flags.Has("help") || mode.empty() || out.empty()) {
+    std::printf(
+        "usage: %s --mode=tsv2adj6|adj62tsv|adj62csr6|mergecsr6 "
+        "[--in=FILE] --out=FILE [--vertices=N] [shards...]\n",
+        flags.program_name().c_str());
+    return flags.Has("help") ? 0 : 1;
+  }
+
+  tg::Status status;
+  if (mode == "tsv2adj6") {
+    status = tg::format::TsvToAdj6(in, out);
+  } else if (mode == "adj62tsv") {
+    status = tg::format::Adj6ToTsv(in, out);
+  } else if (mode == "adj62csr6") {
+    status = tg::format::Adj6ToCsr6(
+        in, out, static_cast<tg::VertexId>(flags.GetInt("vertices", 1 << 20)));
+  } else if (mode == "mergecsr6") {
+    status = tg::format::MergeCsr6Shards(flags.positional(), out);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 1;
+  }
+
+  if (!status.ok()) {
+    std::fprintf(stderr, "conversion failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

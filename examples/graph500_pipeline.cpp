@@ -1,0 +1,114 @@
+// graph500_pipeline: the end-to-end workload the Graph500 benchmark (and
+// Appendix D of the paper) describes — generate a noisy-SKG graph with
+// TrillionG into CSR6 shards, load the CSR, run BFS from sampled roots,
+// validate the parent trees, and report TEPS.
+//
+//   ./graph500_pipeline --scale=18 --edge_factor=16 --workers=4 --roots=8
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/graph_stats.h"
+#include "core/trilliong.h"
+#include "format/csr6.h"
+#include "query/bfs.h"
+#include "query/components.h"
+#include "query/csr_graph.h"
+#include "rng/random.h"
+#include "storage/temp_dir.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  tg::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: %s [--scale=N] [--edge_factor=N] [--workers=N] [--roots=N] "
+        "[--seed=N]\n",
+        flags.program_name().c_str());
+    return 0;
+  }
+
+  tg::core::TrillionGConfig config;
+  config.scale = static_cast<int>(flags.GetInt("scale", 18));
+  config.edge_factor =
+      static_cast<std::uint64_t>(flags.GetInt("edge_factor", 16));
+  config.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  config.noise = 0.1;  // Graph500 generates noisy SKG (Figure 9(c))
+  config.rng_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int num_roots = static_cast<int>(flags.GetInt("roots", 8));
+
+  // --- Kernel 0: generation into CSR6 shards. ---
+  tg::storage::TempDir temp_dir("g500pipe");
+  std::vector<std::string> shards(config.num_workers);
+  tg::Stopwatch watch;
+  tg::core::GenerateStats gen_stats = tg::core::Generate(
+      config,
+      [&](int worker, tg::VertexId lo,
+          tg::VertexId hi) -> std::unique_ptr<tg::core::ScopeSink> {
+        shards[worker] = temp_dir.File("shard" + std::to_string(worker) +
+                                       ".csr6");
+        return std::make_unique<tg::format::Csr6Writer>(shards[worker], lo,
+                                                        hi);
+      });
+  std::printf("generation: %llu edges in %.2f s (%.2f Medges/s)\n",
+              static_cast<unsigned long long>(gen_stats.num_edges),
+              watch.ElapsedSeconds(),
+              gen_stats.num_edges / watch.ElapsedSeconds() / 1e6);
+
+  // --- Kernel 1: graph construction (load CSR shards). ---
+  watch.Restart();
+  tg::query::CsrGraph graph;
+  tg::Status status = tg::query::CsrGraph::FromCsr6Shards(shards, &graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  tg::query::CsrGraph reverse = graph.Transposed();
+  std::printf("construction: loaded %llu vertices / %llu edges in %.2f s "
+              "(%.1f MiB in memory)\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()),
+              watch.ElapsedSeconds(),
+              static_cast<double>(graph.MemoryBytes() + reverse.MemoryBytes()) /
+                  1048576.0);
+
+  // Structural report.
+  tg::analysis::GraphStats stats = tg::analysis::ComputeGraphStats(graph);
+  std::printf("structure: %s\n", stats.ToString().c_str());
+  tg::query::DisjointSets components(graph.num_vertices());
+  for (tg::VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (tg::VertexId v : graph.OutNeighbors(u)) components.Union(u, v);
+  }
+  std::printf("components: %llu (largest %llu vertices)\n",
+              static_cast<unsigned long long>(components.NumComponents()),
+              static_cast<unsigned long long>(components.LargestComponent()));
+
+  // --- Kernel 2: BFS from sampled roots with validation. ---
+  tg::rng::Rng root_rng(config.rng_seed, /*stream=*/77);
+  double total_teps = 0;
+  int measured = 0;
+  for (int i = 0; i < num_roots; ++i) {
+    tg::VertexId root = root_rng.NextBounded(graph.num_vertices());
+    if (graph.OutDegree(root) == 0 && reverse.OutDegree(root) == 0) {
+      continue;  // Graph500 skips isolated roots
+    }
+    watch.Restart();
+    tg::query::BfsResult bfs = tg::query::Bfs(graph, root, &reverse);
+    double seconds = watch.ElapsedSeconds();
+    tg::Status valid = tg::query::ValidateBfsTree(graph, root, bfs, &reverse);
+    std::printf(
+        "bfs root=%-10llu visited=%llu depth=%d %.1f MTEPS validation=%s\n",
+        static_cast<unsigned long long>(root),
+        static_cast<unsigned long long>(bfs.vertices_visited), bfs.max_depth,
+        tg::query::Teps(bfs, seconds) / 1e6, valid.ToString().c_str());
+    if (!valid.ok()) return 1;
+    total_teps += tg::query::Teps(bfs, seconds);
+    ++measured;
+  }
+  if (measured > 0) {
+    std::printf("harmonic-ish mean: %.1f MTEPS over %d roots\n",
+                total_teps / measured / 1e6, measured);
+  }
+  return 0;
+}

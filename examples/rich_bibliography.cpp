@@ -1,0 +1,111 @@
+// rich_bibliography: schema-driven rich graph generation with the extended
+// recursive vector (ERV) model — the gMark bibliographical example of
+// Section 6 / Figure 7. Writes typed edges as "src predicate dst" lines and
+// prints the out-/in-degree summaries of the author relation (Figure 10).
+//
+//   ./rich_bibliography --nodes=100000 --edges=1000000 --out=/tmp/bib.tsv
+//   ./rich_bibliography --config=my_schema.cfg --out=/tmp/rich.tsv
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "gmark/graph_config.h"
+#include "gmark/schema_generator.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  tg::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: %s [--nodes=N] [--edges=M] [--config=FILE] [--out=FILE] "
+        "[--seed=N]\n",
+        flags.program_name().c_str());
+    return 0;
+  }
+
+  const auto nodes = static_cast<std::uint64_t>(flags.GetInt("nodes", 100000));
+  const auto edges =
+      static_cast<std::uint64_t>(flags.GetInt("edges", 1000000));
+
+  tg::gmark::GraphConfig config;
+  if (flags.Has("config")) {
+    std::ifstream in(flags.GetString("config", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open config file\n");
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    tg::Status status = tg::gmark::GraphConfig::Parse(buffer.str(), &config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "config error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    config = tg::gmark::GraphConfig::Bibliography(nodes, edges);
+  }
+
+  std::printf("graph configuration:\n%s\n", config.ToString().c_str());
+
+  std::FILE* out = nullptr;
+  if (flags.Has("out")) {
+    out = std::fopen(flags.GetString("out", "").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open output file\n");
+      return 1;
+    }
+  }
+
+  // Degree tracking for the author relation (schema entry 0 in the built-in
+  // bibliography): out-degrees over sources, in-degrees over targets.
+  auto ranges = config.NodeRanges();
+  std::vector<std::uint32_t> author_out, author_in;
+  int author_pred = config.PredicateIndex("author");
+  int src_type = -1, dst_type = -1;
+  if (author_pred >= 0) {
+    for (const auto& entry : config.schema) {
+      if (entry.predicate == "author") {
+        src_type = config.NodeTypeIndex(entry.source_type);
+        dst_type = config.NodeTypeIndex(entry.target_type);
+      }
+    }
+    if (src_type >= 0) author_out.assign(ranges[src_type].size(), 0);
+    if (dst_type >= 0) author_in.assign(ranges[dst_type].size(), 0);
+  }
+
+  tg::gmark::RichStats stats = tg::gmark::GenerateRichGraph(
+      config, static_cast<std::uint64_t>(flags.GetInt("seed", 42)),
+      [&](const tg::gmark::RichEdge& e) {
+        if (out != nullptr) {
+          std::fprintf(out, "%llu\t%s\t%llu\n",
+                       static_cast<unsigned long long>(e.src),
+                       config.predicates[e.predicate].name.c_str(),
+                       static_cast<unsigned long long>(e.dst));
+        }
+        if (static_cast<int>(e.predicate) == author_pred && src_type >= 0) {
+          ++author_out[e.src - ranges[src_type].begin];
+          ++author_in[e.dst - ranges[dst_type].begin];
+        }
+      });
+  if (out != nullptr) std::fclose(out);
+
+  std::printf("generated %llu typed edges:\n",
+              static_cast<unsigned long long>(stats.num_edges));
+  for (std::size_t p = 0; p < config.predicates.size(); ++p) {
+    std::printf("  %-14s %llu\n", config.predicates[p].name.c_str(),
+                static_cast<unsigned long long>(stats.edges_per_predicate[p]));
+  }
+
+  if (author_pred >= 0 && !author_out.empty()) {
+    auto in_hist = tg::analysis::DegreeHistogram::FromDegrees(author_in);
+    std::printf(
+        "\nauthor relation (Figure 10): out Zipf class slope %.3f (expected "
+        "~-1.662), in mean %.2f stddev %.2f (Gaussian)\n",
+        tg::analysis::PopcountClassSlope(author_out), in_hist.MeanDegree(),
+        in_hist.StddevDegree());
+  }
+  return 0;
+}

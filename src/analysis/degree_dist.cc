@@ -1,0 +1,224 @@
+#include "analysis/degree_dist.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace tg::analysis {
+
+DegreeHistogram DegreeHistogram::FromDegrees(
+    const std::vector<std::uint32_t>& degrees, bool include_zero) {
+  DegreeHistogram h;
+  for (std::uint32_t d : degrees) {
+    if (d > 0 || include_zero) h.AddVertex(d);
+  }
+  return h;
+}
+
+std::uint64_t DegreeHistogram::NumVertices() const {
+  std::uint64_t total = 0;
+  for (const auto& [deg, count] : counts_) total += count;
+  return total;
+}
+
+std::uint64_t DegreeHistogram::NumEdges() const {
+  std::uint64_t total = 0;
+  for (const auto& [deg, count] : counts_) total += deg * count;
+  return total;
+}
+
+std::uint64_t DegreeHistogram::MaxDegree() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::vector<DegreeHistogram::Bin> DegreeHistogram::LogBinned(
+    double bins_per_decade) const {
+  std::vector<Bin> bins;
+  if (counts_.empty()) return bins;
+  const double ratio = std::pow(10.0, 1.0 / bins_per_decade);
+  double lo = 1.0;
+  auto it = counts_.begin();
+  if (it->first == 0) ++it;  // log bins start at degree 1
+  while (it != counts_.end()) {
+    double hi = std::max(lo * ratio, lo + 1.0);
+    double weight = 0, count = 0;
+    std::uint64_t degrees_in_bin = 0;
+    while (it != counts_.end() && static_cast<double>(it->first) < hi) {
+      weight += static_cast<double>(it->first) * it->second;
+      count += static_cast<double>(it->second);
+      ++degrees_in_bin;
+      ++it;
+    }
+    if (count > 0) {
+      // x = count-weighted mean degree; y = avg vertices per integer degree
+      // in the bin (normalizing for bin width keeps the slope honest).
+      double span = std::floor(hi) - std::floor(lo);
+      if (span < 1) span = 1;
+      bins.push_back(Bin{weight / count, count / span});
+    }
+    lo = hi;
+  }
+  return bins;
+}
+
+double DegreeHistogram::ZipfRankSlope() const {
+  // Expand to a descending degree sequence implicitly: iterate the histogram
+  // from the highest degree, tracking cumulative rank.
+  std::vector<std::pair<double, double>> points;  // (log2 rank, log2 degree)
+  std::uint64_t rank = 0;
+  std::uint64_t next_pow = 1;
+  for (auto it = counts_.rbegin(); it != counts_.rend(); ++it) {
+    auto [deg, count] = *it;
+    // Stop at the degree-1 plateau: integer rounding turns the tail into a
+    // flat shelf that would bias the fit toward zero.
+    if (deg <= 1) break;
+    // Ranks covered by this degree: [rank+1, rank+count].
+    while (next_pow >= rank + 1 && next_pow <= rank + count) {
+      points.emplace_back(std::log2(static_cast<double>(next_pow)),
+                          std::log2(static_cast<double>(deg)));
+      next_pow *= 2;
+    }
+    rank += count;
+  }
+  if (points.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (auto [x, y] : points) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double n = static_cast<double>(points.size());
+  double denom = n * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+double DegreeHistogram::LogLogSlope() const {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  for (const auto& [deg, count] : counts_) {
+    if (deg == 0) continue;
+    double x = std::log2(static_cast<double>(deg));
+    double y = std::log2(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    n += 1;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+double DegreeHistogram::OscillationScore(std::uint64_t max_degree) const {
+  // Contiguous-degree second differences of log2(count) in the head.
+  double total = 0;
+  int terms = 0;
+  for (std::uint64_t d = 2; d + 1 <= max_degree; ++d) {
+    auto a = counts_.find(d - 1);
+    auto b = counts_.find(d);
+    auto c = counts_.find(d + 1);
+    if (a == counts_.end() || b == counts_.end() || c == counts_.end()) {
+      continue;
+    }
+    double la = std::log2(static_cast<double>(a->second));
+    double lb = std::log2(static_cast<double>(b->second));
+    double lc = std::log2(static_cast<double>(c->second));
+    total += std::abs(la - 2 * lb + lc);
+    ++terms;
+  }
+  return terms == 0 ? 0.0 : total / terms;
+}
+
+double DegreeHistogram::KsDistance(const DegreeHistogram& a,
+                                   const DegreeHistogram& b) {
+  double na = static_cast<double>(a.NumVertices());
+  double nb = static_cast<double>(b.NumVertices());
+  if (na == 0 || nb == 0) return 1.0;
+  auto ia = a.counts_.begin();
+  auto ib = b.counts_.begin();
+  double ca = 0, cb = 0, ks = 0;
+  while (ia != a.counts_.end() || ib != b.counts_.end()) {
+    std::uint64_t deg;
+    if (ib == b.counts_.end() ||
+        (ia != a.counts_.end() && ia->first <= ib->first)) {
+      deg = ia->first;
+    } else {
+      deg = ib->first;
+    }
+    while (ia != a.counts_.end() && ia->first <= deg) {
+      ca += static_cast<double>(ia->second);
+      ++ia;
+    }
+    while (ib != b.counts_.end() && ib->first <= deg) {
+      cb += static_cast<double>(ib->second);
+      ++ib;
+    }
+    ks = std::max(ks, std::abs(ca / na - cb / nb));
+  }
+  return ks;
+}
+
+double PopcountClassSlope(const std::vector<std::uint32_t>& degrees,
+                          std::size_t min_vertices) {
+  if (degrees.empty()) return 0.0;
+  int max_class = 1;
+  std::uint64_t n = degrees.size();
+  while ((std::uint64_t{1} << max_class) < n) ++max_class;
+  std::vector<double> sum(max_class + 1, 0.0);
+  std::vector<std::uint64_t> count(max_class + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    int cls = std::popcount(v);
+    sum[cls] += degrees[v];
+    ++count[cls];
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int points = 0;
+  for (int cls = 0; cls <= max_class; ++cls) {
+    if (count[cls] < min_vertices) continue;
+    double mean = sum[cls] / static_cast<double>(count[cls]);
+    // Below ~2 the integer resolution of degrees flattens the class means
+    // (the degree-1 shelf), which would bias the fit toward zero.
+    if (mean < 2.0) continue;
+    double x = cls;
+    double y = std::log2(mean);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++points;
+  }
+  if (points < 2) return 0.0;
+  double denom = points * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (points * sxy - sx * sy) / denom;
+}
+
+double DegreeHistogram::MeanDegree() const {
+  std::uint64_t n = NumVertices();
+  return n == 0 ? 0.0
+                : static_cast<double>(NumEdges()) / static_cast<double>(n);
+}
+
+double DegreeHistogram::StddevDegree() const {
+  std::uint64_t n = NumVertices();
+  if (n == 0) return 0.0;
+  double mean = MeanDegree();
+  double sumsq = 0;
+  for (const auto& [deg, count] : counts_) {
+    double diff = static_cast<double>(deg) - mean;
+    sumsq += diff * diff * static_cast<double>(count);
+  }
+  return std::sqrt(sumsq / static_cast<double>(n));
+}
+
+std::string DegreeHistogram::ToSeriesString(double bins_per_decade) const {
+  std::ostringstream out;
+  for (const Bin& bin : LogBinned(bins_per_decade)) {
+    out << bin.degree << "\t" << bin.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tg::analysis

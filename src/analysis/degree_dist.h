@@ -1,0 +1,117 @@
+#ifndef TRILLIONG_ANALYSIS_DEGREE_DIST_H_
+#define TRILLIONG_ANALYSIS_DEGREE_DIST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scope_sink.h"
+#include "util/common.h"
+
+namespace tg::analysis {
+
+/// Histogram of vertex degrees: degree -> number of vertices. The raw
+/// ingredient of every degree-distribution figure in the paper (Figures 8,
+/// 9, 10).
+class DegreeHistogram {
+ public:
+  DegreeHistogram() = default;
+
+  /// Builds from per-vertex degree counts (index = vertex).
+  static DegreeHistogram FromDegrees(const std::vector<std::uint32_t>& degrees,
+                                     bool include_zero = false);
+
+  void AddVertex(std::uint64_t degree) { ++counts_[degree]; }
+
+  const std::map<std::uint64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  std::uint64_t NumVertices() const;
+  std::uint64_t NumEdges() const;
+  std::uint64_t MaxDegree() const;
+
+  /// Multiplicative log-binned series (degree-bin geometric mean, average
+  /// count per degree in bin): the standard way to render a power-law plot.
+  struct Bin {
+    double degree;
+    double count;
+  };
+  std::vector<Bin> LogBinned(double bins_per_decade = 10.0) const;
+
+  /// Rank-frequency Zipf slope (Lemma 6): degrees sorted descending, least
+  /// squares of log2(degree) against log2(rank) sampled at power-of-two
+  /// ranks. Returns 0 for degenerate inputs.
+  double ZipfRankSlope() const;
+
+  /// Least-squares slope of log2(count) vs log2(degree) over the raw
+  /// histogram (the "plot slope" of Figures 8/9).
+  double LogLogSlope() const;
+
+  /// Oscillation score (Figure 9 / Appendix C): mean |second difference| of
+  /// log2(count) over consecutive degrees in the head of the distribution.
+  /// Noise-free SKG oscillates (score high); NSKG smooths it (score low).
+  double OscillationScore(std::uint64_t max_degree = 256) const;
+
+  /// Kolmogorov–Smirnov distance between two degree distributions (over the
+  /// degree CDF weighted by vertex count).
+  static double KsDistance(const DegreeHistogram& a, const DegreeHistogram& b);
+
+  /// Sample mean and standard deviation of the degree of a vertex.
+  double MeanDegree() const;
+  double StddevDegree() const;
+
+  /// "deg\tcount" lines, log-binned, for the bench harness output.
+  std::string ToSeriesString(double bins_per_decade = 10.0) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+};
+
+/// Fits log2(mean degree) of vertices grouped by popcount(vertex id) against
+/// the popcount class index. For SKG/RMAT graphs the class-j mean degree is
+/// |E| * (a+b)^(L-j) * (c+d)^j, so the slope is exactly
+/// log2(c+d) - log2(a+b) — the quantity Lemma 6 / Table 3 identify as the
+/// "Zipfian slope" (the raw rank-frequency curve of an SKG graph is only
+/// piecewise linear, so this class-based estimator is the exact one).
+/// Classes with fewer than `min_vertices` members or mean degree < 1 are
+/// excluded (head clipping / empty tail).
+double PopcountClassSlope(const std::vector<std::uint32_t>& degrees,
+                          std::size_t min_vertices = 8);
+
+/// ScopeSink that accumulates out-degrees (scope sizes) and in-degrees
+/// (neighbor occurrences) without storing edges — the O(|V|) way to get
+/// Figure 8/9 data from a generation run. Single-worker use.
+class DegreeSink : public core::ScopeSink {
+ public:
+  explicit DegreeSink(VertexId num_vertices)
+      : out_degrees_(num_vertices, 0), in_degrees_(num_vertices, 0) {}
+
+  void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override {
+    out_degrees_[u] += static_cast<std::uint32_t>(n);
+    for (std::size_t i = 0; i < n; ++i) ++in_degrees_[adj[i]];
+  }
+
+  /// Out-degree histogram (vertices with degree 0 excluded, matching the
+  /// paper's log-log plots).
+  DegreeHistogram OutHistogram() const {
+    return DegreeHistogram::FromDegrees(out_degrees_);
+  }
+  DegreeHistogram InHistogram() const {
+    return DegreeHistogram::FromDegrees(in_degrees_);
+  }
+
+  const std::vector<std::uint32_t>& out_degrees() const {
+    return out_degrees_;
+  }
+  const std::vector<std::uint32_t>& in_degrees() const { return in_degrees_; }
+
+ private:
+  std::vector<std::uint32_t> out_degrees_;
+  std::vector<std::uint32_t> in_degrees_;
+};
+
+}  // namespace tg::analysis
+
+#endif  // TRILLIONG_ANALYSIS_DEGREE_DIST_H_

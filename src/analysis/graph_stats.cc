@@ -1,0 +1,89 @@
+#include "analysis/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tg::analysis {
+
+namespace {
+
+bool HasSortedEdge(const query::CsrGraph& graph, VertexId u, VertexId v) {
+  auto nbrs = graph.OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const query::CsrGraph& graph,
+                             const GraphStatsOptions& options) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+
+  std::uint64_t reciprocal = 0;
+  std::uint64_t non_loop_edges = 0;
+  std::uint64_t isolated = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    std::uint64_t degree = graph.OutDegree(u);
+    stats.max_out_degree = std::max(stats.max_out_degree, degree);
+    if (degree == 0) ++isolated;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (v == u) {
+        ++stats.self_loops;
+        continue;
+      }
+      ++non_loop_edges;
+      if (HasSortedEdge(graph, v, u)) ++reciprocal;
+    }
+  }
+  stats.reciprocity =
+      non_loop_edges == 0
+          ? 0.0
+          : static_cast<double>(reciprocal) / static_cast<double>(non_loop_edges);
+  stats.isolated_fraction =
+      graph.num_vertices() == 0
+          ? 0.0
+          : static_cast<double>(isolated) /
+                static_cast<double>(graph.num_vertices());
+
+  if (options.clustering_samples > 0 && graph.num_vertices() > 0) {
+    rng::Rng rng(options.rng_seed, /*stream=*/9);
+    double total = 0.0;
+    std::uint64_t counted = 0;
+    std::uint64_t attempts = options.clustering_samples * 20;
+    while (counted < options.clustering_samples && attempts-- > 0) {
+      VertexId u = rng.NextBounded(graph.num_vertices());
+      auto nbrs = graph.OutNeighbors(u);
+      if (nbrs.size() < 2) continue;
+      // Count closed wedges among (up to) 16 sampled neighbor pairs.
+      int pairs = 0, closed = 0;
+      for (int i = 0; i < 16; ++i) {
+        VertexId a = nbrs[rng.NextBounded(nbrs.size())];
+        VertexId b = nbrs[rng.NextBounded(nbrs.size())];
+        if (a == b || a == u || b == u) continue;
+        ++pairs;
+        if (HasSortedEdge(graph, a, b) || HasSortedEdge(graph, b, a)) {
+          ++closed;
+        }
+      }
+      if (pairs > 0) {
+        total += static_cast<double>(closed) / pairs;
+        ++counted;
+      }
+    }
+    stats.clustering_coefficient = counted == 0 ? 0.0 : total / counted;
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "|V|=" << num_vertices << " |E|=" << num_edges
+      << " self_loops=" << self_loops << " reciprocity=" << reciprocity
+      << " clustering~" << clustering_coefficient
+      << " isolated=" << isolated_fraction
+      << " max_out_degree=" << max_out_degree;
+  return out.str();
+}
+
+}  // namespace tg::analysis

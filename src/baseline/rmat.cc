@@ -1,0 +1,117 @@
+#include "baseline/rmat.h"
+
+#include <algorithm>
+
+#include "storage/external_sorter.h"
+#include "util/flat_set64.h"
+
+namespace tg::baseline {
+
+Edge RmatEdge(const model::NoiseVector& noise, rng::Rng* rng) {
+  VertexId u = 0, v = 0;
+  const int levels = noise.levels();
+  for (int level = 0; level < levels; ++level) {
+    double x = rng->NextDouble();
+    // Quadrant cumulative: a, a+b, a+b+c, 1.
+    double a = noise.Entry(level, 0, 0);
+    double b = noise.Entry(level, 0, 1);
+    double c = noise.Entry(level, 1, 0);
+    int row, col;
+    if (x < a) {
+      row = 0;
+      col = 0;
+    } else if (x < a + b) {
+      row = 0;
+      col = 1;
+    } else if (x < a + b + c) {
+      row = 1;
+      col = 0;
+    } else {
+      row = 1;
+      col = 1;
+    }
+    u = (u << 1) | static_cast<VertexId>(row);
+    v = (v << 1) | static_cast<VertexId>(col);
+  }
+  return Edge{u, v};
+}
+
+namespace {
+
+model::NoiseVector MakeNoise(const RmatOptions& options, int extra_stream) {
+  if (options.noise <= 0.0) {
+    return model::NoiseVector(options.seed, options.scale);
+  }
+  rng::Rng noise_rng(options.rng_seed,
+                     0xA015E1ULL + static_cast<std::uint64_t>(extra_stream));
+  return model::NoiseVector(options.seed, options.scale, options.noise,
+                            &noise_rng);
+}
+
+std::uint64_t PackEdge(const Edge& e, int scale) {
+  return (e.src << scale) | e.dst;
+}
+
+}  // namespace
+
+WesStats RmatMem(const RmatOptions& options, const EdgeConsumer& consume) {
+  TG_CHECK_MSG(2 * options.scale <= 48,
+               "RMAT-mem packs edges into 48-bit keys; scale too large");
+  const model::NoiseVector noise = MakeNoise(options, 0);
+  rng::Rng rng(options.rng_seed, /*stream=*/2);
+  const std::uint64_t target = options.NumEdges();
+  TG_CHECK_MSG(target <= (options.NumVertices() * options.NumVertices()) / 2,
+               "|E| must be well below |V|^2 for rejection to terminate");
+
+  WesStats stats;
+  FlatSet64 dedup(static_cast<std::size_t>(target));
+  ScopedAllocation dedup_mem(options.budget, dedup.MemoryBytes());
+  stats.peak_bytes = dedup_mem.bytes();
+
+  while (dedup.size() < target) {
+    Edge e = RmatEdge(noise, &rng);
+    ++stats.num_generated;
+    if (dedup.Insert(PackEdge(e, options.scale))) {
+      consume(e);
+      ++stats.num_edges;
+      if (dedup.MemoryBytes() > dedup_mem.bytes()) {
+        dedup_mem.ResizeTo(dedup.MemoryBytes());
+        stats.peak_bytes = std::max(stats.peak_bytes, dedup_mem.bytes());
+      }
+    }
+  }
+  return stats;
+}
+
+WesStats RmatDisk(const RmatDiskOptions& options, const EdgeConsumer& consume) {
+  const model::NoiseVector noise = MakeNoise(options, 0);
+  rng::Rng rng(options.rng_seed, /*stream=*/2);
+  const std::uint64_t target = options.NumEdges();
+  const auto raw_target = static_cast<std::uint64_t>(
+      static_cast<double>(target) * (1.0 + options.epsilon));
+
+  WesStats stats;
+  storage::ExternalSorter<Edge> sorter(
+      {options.temp_dir, options.sort_buffer_items, "rmat_disk"});
+  ScopedAllocation sort_mem(options.budget,
+                            options.sort_buffer_items * sizeof(Edge));
+  stats.peak_bytes = sort_mem.bytes();
+
+  for (std::uint64_t i = 0; i < raw_target; ++i) {
+    sorter.Add(RmatEdge(noise, &rng));
+  }
+  stats.num_generated = raw_target;
+
+  std::uint64_t delivered = 0;
+  sorter.Merge(/*dedup=*/true, [&](const Edge& e) {
+    if (delivered < target) {
+      consume(e);
+      ++delivered;
+    }
+  });
+  stats.num_edges = delivered;
+  stats.spilled_bytes = sorter.bytes_spilled();
+  return stats;
+}
+
+}  // namespace tg::baseline

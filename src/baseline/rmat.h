@@ -1,0 +1,67 @@
+#ifndef TRILLIONG_BASELINE_RMAT_H_
+#define TRILLIONG_BASELINE_RMAT_H_
+
+#include <functional>
+#include <string>
+
+#include "model/noise.h"
+#include "model/seed_matrix.h"
+#include "rng/random.h"
+#include "util/common.h"
+#include "util/memory_budget.h"
+
+namespace tg::baseline {
+
+/// Per-edge consumer used by the edge-at-a-time baselines.
+using EdgeConsumer = std::function<void(const Edge&)>;
+
+/// Generates one edge by recursive quadrant selection on the adjacency
+/// matrix (Section 2.1, Figure 1(b)): one uniform deviate and one quadrant
+/// choice per level, MSB first. The per-level matrices come from a
+/// NoiseVector, so the same kernel serves RMAT, SKG and NSKG (Graph500)
+/// generation.
+Edge RmatEdge(const model::NoiseVector& noise, rng::Rng* rng);
+
+/// Statistics common to the WES baselines.
+struct WesStats {
+  std::uint64_t num_edges = 0;       ///< unique edges delivered
+  std::uint64_t num_generated = 0;   ///< raw trials (>= num_edges)
+  std::uint64_t peak_bytes = 0;      ///< peak dedup / sort memory
+  std::uint64_t spilled_bytes = 0;   ///< disk traffic (disk variants only)
+};
+
+struct RmatOptions {
+  model::SeedMatrix seed = model::SeedMatrix::Graph500();
+  int scale = 20;
+  std::uint64_t num_edges = 0;  ///< 0 -> 16 * |V|
+  double noise = 0.0;           ///< NSKG noise N
+  std::uint64_t rng_seed = 42;
+  /// Per-machine memory cap (nullptr = unlimited). RMAT-mem registers its
+  /// O(|E|) dedup set here, which is what reproduces the paper's O.O.M rows.
+  MemoryBudget* budget = nullptr;
+
+  std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
+  std::uint64_t NumEdges() const {
+    return num_edges != 0 ? num_edges : std::uint64_t{16} << scale;
+  }
+};
+
+/// RMAT-mem (Section 7.3): the default WES generator. Keeps every generated
+/// edge in an in-memory hash set to reject repeats until |E| unique edges
+/// exist — O(|E|) space, O(|E| log |V|) time. Requires 2 * scale <= 48 so an
+/// edge packs into one dedup key.
+WesStats RmatMem(const RmatOptions& options, const EdgeConsumer& consume);
+
+/// RMAT-disk (Section 7.3): generates |E| * (1 + epsilon) raw edges without
+/// in-memory dedup, spilling sorted runs, then external-sort merges with
+/// duplicate elimination. O(buffer) memory, disk-bound.
+struct RmatDiskOptions : RmatOptions {
+  std::string temp_dir = ".";
+  std::size_t sort_buffer_items = 1 << 20;
+  double epsilon = 0.01;  ///< oversampling factor of Algorithm 3
+};
+WesStats RmatDisk(const RmatDiskOptions& options, const EdgeConsumer& consume);
+
+}  // namespace tg::baseline
+
+#endif  // TRILLIONG_BASELINE_RMAT_H_

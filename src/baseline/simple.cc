@@ -1,0 +1,71 @@
+#include "baseline/simple.h"
+
+#include <vector>
+
+#include "rng/random.h"
+#include "util/flat_set64.h"
+
+namespace tg::baseline {
+
+std::uint64_t ErdosRenyi(const ErdosRenyiOptions& options,
+                         const EdgeConsumer& consume) {
+  TG_CHECK(2 * options.scale <= 48);
+  rng::Rng rng(options.rng_seed, /*stream=*/5);
+  const VertexId n = options.NumVertices();
+  const std::uint64_t target = options.NumEdges();
+  std::uint64_t produced = 0;
+  if (options.dedup) {
+    FlatSet64 dedup(target);
+    while (produced < target) {
+      VertexId u = rng.NextBounded(n);
+      VertexId v = rng.NextBounded(n);
+      if (dedup.Insert((u << options.scale) | v)) {
+        consume(Edge{u, v});
+        ++produced;
+      }
+    }
+  } else {
+    for (; produced < target; ++produced) {
+      consume(Edge{rng.NextBounded(n), rng.NextBounded(n)});
+    }
+  }
+  return produced;
+}
+
+std::uint64_t BarabasiAlbert(const BarabasiAlbertOptions& options,
+                             const EdgeConsumer& consume) {
+  TG_CHECK(options.edges_per_vertex >= 1);
+  rng::Rng rng(options.rng_seed, /*stream=*/6);
+  const VertexId n = options.num_vertices;
+  const int m = options.edges_per_vertex;
+  TG_CHECK(n > static_cast<VertexId>(m));
+
+  // Endpoint pool: every endpoint of every edge, so a uniform draw samples
+  // vertices proportionally to degree (the ROLL trick).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * m);
+
+  // Seed clique over the first m+1 vertices.
+  std::uint64_t produced = 0;
+  for (int i = 0; i <= m; ++i) {
+    for (int j = 0; j < i; ++j) {
+      consume(Edge{static_cast<VertexId>(i), static_cast<VertexId>(j)});
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+      ++produced;
+    }
+  }
+
+  for (VertexId u = m + 1; u < n; ++u) {
+    for (int e = 0; e < m; ++e) {
+      VertexId v = endpoints[rng.NextBounded(endpoints.size())];
+      consume(Edge{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+}  // namespace tg::baseline

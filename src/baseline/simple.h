@@ -1,0 +1,41 @@
+#ifndef TRILLIONG_BASELINE_SIMPLE_H_
+#define TRILLIONG_BASELINE_SIMPLE_H_
+
+#include "baseline/rmat.h"
+#include "util/common.h"
+
+namespace tg::baseline {
+
+/// Erdős–Rényi G(n, m): |E| uniformly random edges, optional dedup
+/// (Section 8: equivalent to RMAT with all seed parameters 0.25).
+struct ErdosRenyiOptions {
+  int scale = 16;
+  std::uint64_t num_edges = 0;  ///< 0 -> 16 * |V|
+  std::uint64_t rng_seed = 42;
+  bool dedup = true;
+
+  std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
+  std::uint64_t NumEdges() const {
+    return num_edges != 0 ? num_edges : std::uint64_t{16} << scale;
+  }
+};
+std::uint64_t ErdosRenyi(const ErdosRenyiOptions& options,
+                         const EdgeConsumer& consume);
+
+/// Barabási–Albert preferential attachment via the edge-list sampling trick
+/// used by ROLL [23] (Section 8): a new edge attaches to the endpoint of a
+/// uniformly random existing edge, which samples proportionally to degree in
+/// O(1). In-memory, O(|E|) space — included as the related-work baseline
+/// that "cannot generate a larger-scale graph".
+struct BarabasiAlbertOptions {
+  VertexId num_vertices = 1 << 16;
+  /// Edges attached per new vertex.
+  int edges_per_vertex = 8;
+  std::uint64_t rng_seed = 42;
+};
+std::uint64_t BarabasiAlbert(const BarabasiAlbertOptions& options,
+                             const EdgeConsumer& consume);
+
+}  // namespace tg::baseline
+
+#endif  // TRILLIONG_BASELINE_SIMPLE_H_

@@ -1,0 +1,32 @@
+#ifndef TRILLIONG_CLUSTER_NETWORK_MODEL_H_
+#define TRILLIONG_CLUSTER_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace tg::cluster {
+
+/// Cost model of the cluster interconnect. The paper's experiments use
+/// 1 Gbps Ethernet by default and 100 Gbps InfiniBand EDR for the Graph500
+/// comparison (Appendix D); we reproduce the comparison by charging
+/// simulated transfer time for every byte a shuffle moves between machines.
+struct NetworkModel {
+  double bandwidth_bytes_per_sec = 125e6;  ///< 1 Gbps Ethernet
+  double latency_seconds = 100e-6;         ///< per collective hop
+
+  static NetworkModel OneGigabitEthernet() {
+    return NetworkModel{125e6, 100e-6};
+  }
+  static NetworkModel InfinibandEdr() {
+    return NetworkModel{12.5e9, 2e-6};  // 100 Gbps
+  }
+
+  /// Seconds to move `bytes` across the wire in `messages` messages.
+  double TransferSeconds(std::uint64_t bytes, int messages = 1) const {
+    return static_cast<double>(bytes) / bandwidth_bytes_per_sec +
+           latency_seconds * messages;
+  }
+};
+
+}  // namespace tg::cluster
+
+#endif  // TRILLIONG_CLUSTER_NETWORK_MODEL_H_

@@ -1,0 +1,162 @@
+#ifndef TRILLIONG_CLUSTER_SIM_CLUSTER_H_
+#define TRILLIONG_CLUSTER_SIM_CLUSTER_H_
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/network_model.h"
+#include "util/common.h"
+#include "util/memory_budget.h"
+#include "util/stopwatch.h"
+
+namespace tg::cluster {
+
+/// Simulated cluster: the substitute for the paper's "one master + ten slave
+/// PCs" testbed (Section 7.1). Machines are modeled as groups of worker
+/// threads sharing a per-machine MemoryBudget; the interconnect is modeled
+/// by charging NetworkModel transfer time for every byte a shuffle moves
+/// between distinct machines (intra-machine traffic is free). Workers do
+/// real work on real threads — only machine boundaries and wire time are
+/// simulated.
+class SimCluster {
+ public:
+  struct Options {
+    int num_machines = 10;
+    int threads_per_machine = 6;
+    /// Per-machine memory cap in bytes (0 = unlimited).
+    std::uint64_t memory_limit_per_machine = 0;
+    NetworkModel network;
+  };
+
+  explicit SimCluster(const Options& options) : options_(options) {
+    TG_CHECK(options.num_machines >= 1);
+    TG_CHECK(options.threads_per_machine >= 1);
+    budgets_.reserve(options.num_machines);
+    for (int m = 0; m < options.num_machines; ++m) {
+      budgets_.push_back(
+          std::make_unique<MemoryBudget>(options.memory_limit_per_machine));
+    }
+  }
+
+  int num_machines() const { return options_.num_machines; }
+  int num_workers() const {
+    return options_.num_machines * options_.threads_per_machine;
+  }
+  int MachineOfWorker(int worker) const {
+    return worker / options_.threads_per_machine;
+  }
+  MemoryBudget* machine_budget(int machine) { return budgets_[machine].get(); }
+  MemoryBudget* worker_budget(int worker) {
+    return budgets_[MachineOfWorker(worker)].get();
+  }
+  const NetworkModel& network() const { return options_.network; }
+
+  /// Peak memory over machines (the paper's per-machine peak plots).
+  std::uint64_t MaxMachinePeakBytes() const {
+    std::uint64_t peak = 0;
+    for (const auto& b : budgets_) peak = std::max(peak, b->peak_bytes());
+    return peak;
+  }
+
+  /// Runs fn(worker) on num_workers() real threads; rethrows the first
+  /// worker exception (e.g. OomError) after all workers complete. Returns
+  /// the maximum per-worker CPU time — the simulated parallel wall-clock of
+  /// the phase (on an oversubscribed host, thread CPU time is what each
+  /// worker would have taken on its own core).
+  double RunParallel(const std::function<void(int)>& fn) const {
+    const int n = num_workers();
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<double> busy(n, 0.0);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (int w = 0; w < n; ++w) {
+      threads.emplace_back([&, w] {
+        double start = ThreadCpuSeconds();
+        try {
+          fn(w);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+        busy[w] = ThreadCpuSeconds() - start;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    double max_busy = 0;
+    for (double b : busy) max_busy = std::max(max_busy, b);
+    return max_busy;
+  }
+
+  /// All-to-all shuffle of POD records. `outbox[src][dst]` holds what worker
+  /// src sends to worker dst; the return value is the per-destination
+  /// concatenation (in source order). Cross-machine bytes are charged to the
+  /// simulated network clock; per-destination-machine received bytes are
+  /// registered against that machine's memory budget by the caller (the
+  /// records are returned in plain vectors).
+  template <typename T>
+  std::vector<std::vector<T>> Shuffle(
+      std::vector<std::vector<std::vector<T>>>&& outbox) {
+    const int n = num_workers();
+    TG_CHECK(static_cast<int>(outbox.size()) == n);
+    // Per-machine wire traffic.
+    std::vector<std::uint64_t> sent(num_machines(), 0);
+    std::vector<std::uint64_t> received(num_machines(), 0);
+    std::vector<std::vector<T>> inbox(n);
+    for (int dst = 0; dst < n; ++dst) {
+      std::size_t total = 0;
+      for (int src = 0; src < n; ++src) total += outbox[src][dst].size();
+      inbox[dst].reserve(total);
+    }
+    for (int src = 0; src < n; ++src) {
+      TG_CHECK(static_cast<int>(outbox[src].size()) == n);
+      for (int dst = 0; dst < n; ++dst) {
+        const std::vector<T>& payload = outbox[src][dst];
+        if (MachineOfWorker(src) != MachineOfWorker(dst)) {
+          std::uint64_t bytes = payload.size() * sizeof(T);
+          sent[MachineOfWorker(src)] += bytes;
+          received[MachineOfWorker(dst)] += bytes;
+        }
+        inbox[dst].insert(inbox[dst].end(), payload.begin(), payload.end());
+        outbox[src][dst].clear();
+        outbox[src][dst].shrink_to_fit();
+      }
+    }
+    // The collective completes when the busiest machine finishes sending and
+    // receiving (full-duplex wire).
+    double seconds = 0;
+    std::uint64_t total_bytes = 0;
+    for (int m = 0; m < num_machines(); ++m) {
+      seconds = std::max(
+          seconds, options_.network.TransferSeconds(
+                       std::max(sent[m], received[m]), num_machines() - 1));
+      total_bytes += sent[m];
+    }
+    network_seconds_ += seconds;
+    shuffled_bytes_ += total_bytes;
+    return inbox;
+  }
+
+  /// Simulated wall-clock spent on the wire so far.
+  double network_seconds() const { return network_seconds_; }
+  std::uint64_t shuffled_bytes() const { return shuffled_bytes_; }
+  void ResetNetworkClock() {
+    network_seconds_ = 0;
+    shuffled_bytes_ = 0;
+  }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<MemoryBudget>> budgets_;
+  double network_seconds_ = 0;
+  std::uint64_t shuffled_bytes_ = 0;
+};
+
+}  // namespace tg::cluster
+
+#endif  // TRILLIONG_CLUSTER_SIM_CLUSTER_H_

@@ -1,0 +1,154 @@
+#ifndef TRILLIONG_CORE_AVS_GENERATOR_H_
+#define TRILLIONG_CORE_AVS_GENERATOR_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/edge_determiner.h"
+#include "core/on_demand_cdf.h"
+#include "core/rec_vec.h"
+#include "core/scope_sink.h"
+#include "core/scope_size.h"
+#include "model/noise.h"
+#include "rng/random.h"
+#include "util/flat_set64.h"
+#include "util/memory_budget.h"
+
+namespace tg::core {
+
+/// Per-worker generation statistics.
+struct AvsWorkerStats {
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_scopes = 0;       ///< scopes with at least one edge
+  std::uint64_t max_degree = 0;       ///< realized d_max in this range
+  std::uint64_t peak_scope_bytes = 0; ///< peak working-set (the O(d_max) term)
+  std::uint64_t rec_vec_builds = 0;   ///< RecVec constructions (ablation stat)
+
+  void MergeFrom(const AvsWorkerStats& o) {
+    num_edges += o.num_edges;
+    num_scopes += o.num_scopes;
+    max_degree = std::max(max_degree, o.max_degree);
+    peak_scope_bytes = std::max(peak_scope_bytes, o.peak_scope_bytes);
+    rec_vec_builds += o.rec_vec_builds;
+  }
+};
+
+/// Generates all scopes of a contiguous vertex range following the recursive
+/// vector model (Algorithm 4). One instance per worker; scope RNG streams
+/// are forked per vertex, so output is identical regardless of how ranges
+/// are assigned to workers.
+///
+/// `Real` selects RecVec arithmetic: double or numeric::DoubleDouble.
+template <typename Real>
+class AvsRangeGenerator {
+ public:
+  /// `noise` must outlive the generator. `num_edges` is the global |E| of
+  /// Theorem 1. `budget`, if non-null, models the per-machine memory cap.
+  AvsRangeGenerator(const model::NoiseVector* noise, std::uint64_t num_edges,
+                    const DeterminerOptions& opts,
+                    MemoryBudget* budget = nullptr,
+                    bool exclude_self_loops = false)
+      : noise_(noise),
+        num_edges_(num_edges),
+        opts_(opts),
+        budget_(budget),
+        num_vertices_(VertexId{1} << noise->levels()),
+        exclude_self_loops_(exclude_self_loops) {}
+
+  /// Runs Algorithm 4 over scopes [lo, hi). `root` is the graph-level RNG
+  /// (forked per scope). Scopes are delivered to `sink` in increasing vertex
+  /// order. Returns per-range stats.
+  AvsWorkerStats GenerateRange(VertexId lo, VertexId hi, const rng::Rng& root,
+                               ScopeSink* sink) {
+    AvsWorkerStats stats;
+    RecVec<Real> rv;
+    FlatSet64 dedup;
+    std::vector<VertexId> adj;
+    for (VertexId u = lo; u < hi; ++u) {
+      GenerateScope(u, root, &rv, &dedup, &adj, &stats, sink);
+    }
+    return stats;
+  }
+
+  /// Generates a single scope (exposed for tests and the Figure 13 bench).
+  void GenerateScope(VertexId u, const rng::Rng& root, RecVec<Real>* rv,
+                     FlatSet64* dedup, std::vector<VertexId>* adj,
+                     AvsWorkerStats* stats, ScopeSink* sink) {
+    rng::Rng rng = root.Fork(u);
+
+    rv->Build(*noise_, u);
+    ++stats->rec_vec_builds;
+    const double p = ToDouble(rv->Total());
+
+    // Line 2 of Algorithm 4: numEdges <- |S(u, V)| by Theorem 1.
+    const std::uint64_t degree =
+        SampleScopeSize(num_edges_, p, num_vertices_, &rng);
+    if (degree == 0) return;
+
+    dedup->Reset(degree);
+    adj->clear();
+    adj->reserve(degree);
+
+    // Account the per-scope working set against the machine budget: this is
+    // exactly the O(d_max) space term of Table 1.
+    ScopedAllocation scope_mem(
+        budget_, dedup->MemoryBytes() + degree * sizeof(VertexId));
+    stats->peak_scope_bytes =
+        std::max(stats->peak_scope_bytes, scope_mem.bytes());
+
+    // Rejection loop (Algorithm 4 lines 4-7): repeat until `degree` distinct
+    // neighbors are collected. The attempt cap only matters for near-dense
+    // scopes, which realistic sparse configurations never produce.
+    const std::uint64_t max_attempts = 100 * degree + 10000;
+    std::uint64_t attempts = 0;
+    auto draw_destination = [&]() -> VertexId {
+      if (opts_.reuse_rec_vec) {
+        Real x = NextUniformReal<Real>(&rng, rv->Total());
+        return DetermineEdgeWithOptions(*rv, x, &rng, opts_);
+      }
+      // Idea#1 disabled: every CDF access recomputes from the seed
+      // parameters (no precomputed vector exists conceptually).
+      OnDemandCdf<Real> on_demand(noise_, u);
+      Real x = NextUniformReal<Real>(&rng, on_demand.Total());
+      VertexId v = DetermineEdgeWithOptions(on_demand, x, &rng, opts_);
+      ++stats->rec_vec_builds;  // counts per-edge recomputation work
+      return v;
+    };
+    while (adj->size() < degree && attempts < max_attempts) {
+      ++attempts;
+      VertexId v = draw_destination();
+      if (exclude_self_loops_ && v == u) continue;
+      if (dedup->Insert(v)) {
+        adj->push_back(v);
+        if (dedup->MemoryBytes() + degree * sizeof(VertexId) >
+            scope_mem.bytes()) {
+          scope_mem.ResizeTo(dedup->MemoryBytes() + degree * sizeof(VertexId));
+          stats->peak_scope_bytes =
+              std::max(stats->peak_scope_bytes, scope_mem.bytes());
+        }
+      }
+    }
+
+    stats->num_edges += adj->size();
+    stats->num_scopes += 1;
+    stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj->size());
+    sink->ConsumeScope(u, adj->data(), adj->size());
+  }
+
+ private:
+  static double ToDouble(double v) { return v; }
+  static double ToDouble(const numeric::DoubleDouble& v) {
+    return v.ToDouble();
+  }
+
+  const model::NoiseVector* noise_;
+  std::uint64_t num_edges_;
+  DeterminerOptions opts_;
+  MemoryBudget* budget_;
+  VertexId num_vertices_;
+  bool exclude_self_loops_;
+};
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_AVS_GENERATOR_H_

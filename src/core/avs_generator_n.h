@@ -1,0 +1,71 @@
+#ifndef TRILLIONG_CORE_AVS_GENERATOR_N_H_
+#define TRILLIONG_CORE_AVS_GENERATOR_N_H_
+
+#include <vector>
+
+#include "core/rec_vec_n.h"
+#include "core/scope_sink.h"
+#include "core/scope_size.h"
+#include "model/seed_matrix_n.h"
+#include "rng/random.h"
+#include "util/flat_set64.h"
+
+namespace tg::core {
+
+/// AVS generation under the generalized n x n recursive vector model
+/// (see RecVecN). Scope sizes follow Theorem 1 with the n x n row marginal
+/// P_{u->} = prod_k rowsum(u[k]); destinations come from DetermineEdgeN with
+/// per-scope dedup — the full TrillionG pipeline for arbitrary SKG seeds.
+struct AvsNOptions {
+  model::SeedMatrixN seed = model::SeedMatrixN::Example3x3();
+  /// log_n |V|.
+  int levels = 8;
+  std::uint64_t num_edges = 1 << 20;
+  std::uint64_t rng_seed = 42;
+};
+
+struct AvsNStats {
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_scopes = 0;
+  std::uint64_t max_degree = 0;
+};
+
+inline AvsNStats GenerateAvsN(const AvsNOptions& options, ScopeSink* sink) {
+  const int n = options.seed.n();
+  VertexId num_vertices = 1;
+  for (int k = 0; k < options.levels; ++k) {
+    num_vertices *= static_cast<VertexId>(n);
+  }
+
+  const rng::Rng root(options.rng_seed, /*stream=*/8);
+  AvsNStats stats;
+  FlatSet64 dedup;
+  std::vector<VertexId> adj;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    rng::Rng rng = root.Fork(u);
+    RecVecN rv(options.seed, options.levels, u);
+    std::uint64_t degree =
+        SampleScopeSize(options.num_edges, rv.Total(), num_vertices, &rng);
+    if (degree == 0) continue;
+
+    dedup.Reset(degree);
+    adj.clear();
+    adj.reserve(degree);
+    const std::uint64_t max_attempts = 100 * degree + 10000;
+    std::uint64_t attempts = 0;
+    while (adj.size() < degree && attempts < max_attempts) {
+      ++attempts;
+      VertexId v = DetermineEdgeN(rv, NextUniformForRecVecN(&rng, rv));
+      if (dedup.Insert(v)) adj.push_back(v);
+    }
+    stats.num_edges += adj.size();
+    stats.num_scopes += 1;
+    stats.max_degree = std::max<std::uint64_t>(stats.max_degree, adj.size());
+    sink->ConsumeScope(u, adj.data(), adj.size());
+  }
+  return stats;
+}
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_AVS_GENERATOR_N_H_

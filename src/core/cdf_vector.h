@@ -1,0 +1,72 @@
+#ifndef TRILLIONG_CORE_CDF_VECTOR_H_
+#define TRILLIONG_CORE_CDF_VECTOR_H_
+
+#include <vector>
+
+#include "model/noise.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// The naive method of Section 4.2 (Table 2): materializes the full CDF
+/// vector F_u(0..|V|) of a source vertex — O(|V|) space — and inverts it by
+/// linear or binary search. Exists as the baseline RecVec is measured
+/// against; a trillion-scale CDF vector would need ~274 GB, which is the
+/// paper's argument for RecVec.
+class CdfVector {
+ public:
+  CdfVector(const model::NoiseVector& noise, VertexId u) {
+    const int scale = noise.levels();
+    const VertexId n = VertexId{1} << scale;
+    cdf_.resize(n + 1);
+    cdf_[0] = 0.0;
+    // One pass over destinations; per-cell probability maintained
+    // incrementally would be O(1) amortized, but the straightforward
+    // per-cell product is what the naive method does.
+    for (VertexId v = 0; v < n; ++v) {
+      double p = 1.0;
+      for (int bit = 0; bit < scale; ++bit) {
+        p *= noise.EntryAtBit(bit, static_cast<int>((u >> bit) & 1),
+                              static_cast<int>((v >> bit) & 1));
+      }
+      cdf_[v + 1] = cdf_[v] + p;
+    }
+  }
+
+  /// F_u(r).
+  double operator[](VertexId r) const { return cdf_[r]; }
+
+  /// Total row mass F_u(|V|).
+  double Total() const { return cdf_.back(); }
+
+  /// F_u^{-1}(x) by linear scan — O(|V|).
+  VertexId InvertLinear(double x) const {
+    VertexId v = 0;
+    while (v + 1 < cdf_.size() - 1 && cdf_[v + 1] <= x) ++v;
+    return v;
+  }
+
+  /// F_u^{-1}(x) by binary search — O(log |V|).
+  VertexId InvertBinary(double x) const {
+    VertexId lo = 0;
+    VertexId hi = cdf_.size() - 1;  // invariant: cdf_[lo] <= x < cdf_[hi]
+    while (hi - lo > 1) {
+      VertexId mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= x) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t MemoryBytes() const { return cdf_.size() * sizeof(double); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_CDF_VECTOR_H_

@@ -1,0 +1,145 @@
+#ifndef TRILLIONG_CORE_EDGE_DETERMINER_H_
+#define TRILLIONG_CORE_EDGE_DETERMINER_H_
+
+#include "core/rec_vec.h"
+#include "model/noise.h"
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// Toggles for the three key performance ideas of Section 4.3, exposed so the
+/// Figure 13 ablation can run all eight combinations. All four code paths
+/// draw destinations from the identical distribution; they differ only in
+/// cost.
+struct DeterminerOptions {
+  /// Idea #1: reuse the per-scope precomputed RecVec. When false every CDF
+  /// access recomputes Lemma 2's product from the seed parameters
+  /// (OnDemandCdf).
+  bool reuse_rec_vec = true;
+  /// Idea #2: skip zero bits via binary search on RecVec (popcount(v)
+  /// iterations). When false every one of the log|V| levels is visited.
+  bool reduce_recursions = true;
+  /// Idea #3: reuse one random value across all recursion steps by CDF
+  /// translation (Theorem 2). When false a fresh uniform deviate is drawn at
+  /// each recursion step (distributionally identical, see Lemma 4).
+  bool reuse_random_value = true;
+};
+
+/// The determiners are generic over the CDF accessor `Cdf`, which must
+/// provide scale(), operator[](int) -> Real, Total(), Sigma(k), InvSigma(k).
+/// RecVec<Real> provides O(1) cached access; OnDemandCdf<Real> recomputes
+/// per access (the Idea#1-off ablation).
+
+/// Determines one destination vertex from a CDF and a uniform deviate
+/// x in [0, cdf.Total()), implementing Theorem 2 / Algorithm 5 iteratively.
+/// The produced k indices are strictly decreasing, so the binary search
+/// range shrinks each step and v accumulates distinct powers of two; total
+/// cost O(popcount(v) * log log|V|) CDF accesses.
+template <typename Real, typename Cdf>
+VertexId DetermineEdge(const Cdf& cdf, Real x) {
+  VertexId v = 0;
+  int hi = cdf.scale();  // search window is [0, hi); invariant: x < cdf[hi]
+  while (hi > 0 && x >= cdf[0]) {
+    // Largest k in [0, hi) with cdf[k] <= x (binary search, O(log log|V|)).
+    int lo = 0;
+    int high = hi;
+    while (high - lo > 1) {
+      int mid = (lo + high) / 2;
+      if (cdf[mid] <= x) {
+        lo = mid;
+      } else {
+        high = mid;
+      }
+    }
+    int k = lo;
+    // Translate x into [0, cdf[k]) using sigma_{u[k]} (Lemma 4):
+    // x' = (x - F(2^k)) / sigma.
+    x = (x - cdf[k]) * cdf.InvSigma(k);
+    if (x < Real(0.0)) x = Real(0.0);  // floating-point guard
+    v += VertexId{1} << k;
+    hi = k;
+  }
+  return v;
+}
+
+/// Idea#2-off variant: walks every level from MSB to LSB, performing the same
+/// per-level translation (log|V| iterations regardless of popcount(v)).
+template <typename Real, typename Cdf>
+VertexId DetermineEdgeLinear(const Cdf& cdf, Real x) {
+  VertexId v = 0;
+  for (int k = cdf.scale() - 1; k >= 0; --k) {
+    Real fk = cdf[k];
+    if (x >= fk) {
+      x = (x - fk) * cdf.InvSigma(k);
+      if (x < Real(0.0)) x = Real(0.0);
+      v += VertexId{1} << k;
+    }
+  }
+  return v;
+}
+
+/// Idea#3-off variants: after selecting k, draw a fresh uniform in
+/// [0, cdf[k]) instead of translating the old value. Identical distribution
+/// (given x uniform on [cdf[k], cdf[k+1]), the translated value is uniform
+/// on [0, cdf[k])) but costs one RNG call per recursion step.
+template <typename Real, typename Cdf>
+VertexId DetermineEdgeFreshRandom(const Cdf& cdf, Real x, rng::Rng* rng) {
+  VertexId v = 0;
+  int hi = cdf.scale();
+  while (hi > 0 && x >= cdf[0]) {
+    int lo = 0;
+    int high = hi;
+    while (high - lo > 1) {
+      int mid = (lo + high) / 2;
+      if (cdf[mid] <= x) {
+        lo = mid;
+      } else {
+        high = mid;
+      }
+    }
+    int k = lo;
+    x = NextUniformReal<Real>(rng, cdf[k]);
+    v += VertexId{1} << k;
+    hi = k;
+  }
+  return v;
+}
+
+/// Idea#2-off AND Idea#3-off: per-level Bernoulli walk with a fresh deviate
+/// at every level — this is essentially the classic RMAT recursion
+/// conditioned on the source row.
+template <typename Real, typename Cdf>
+VertexId DetermineEdgeLinearFreshRandom(const Cdf& cdf, Real x,
+                                        rng::Rng* rng) {
+  VertexId v = 0;
+  for (int k = cdf.scale() - 1; k >= 0; --k) {
+    Real fk = cdf[k];
+    if (x >= fk) {
+      x = NextUniformReal<Real>(rng, fk);
+      v += VertexId{1} << k;
+    } else if (k > 0) {
+      // Rescale the remaining range [0, cdf[k]) with a fresh draw as well,
+      // so that exactly one RNG value is consumed per level.
+      x = NextUniformReal<Real>(rng, fk);
+    }
+  }
+  return v;
+}
+
+/// Dispatcher used by the generator and the Figure 13 bench: applies the
+/// Idea#2/#3 toggles (Idea#1 selects the Cdf type at the caller).
+template <typename Real, typename Cdf>
+VertexId DetermineEdgeWithOptions(const Cdf& cdf, Real x, rng::Rng* rng,
+                                  const DeterminerOptions& opts) {
+  if (opts.reduce_recursions) {
+    if (opts.reuse_random_value) return DetermineEdge(cdf, x);
+    return DetermineEdgeFreshRandom(cdf, x, rng);
+  }
+  if (opts.reuse_random_value) return DetermineEdgeLinear(cdf, x);
+  return DetermineEdgeLinearFreshRandom(cdf, x, rng);
+}
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_EDGE_DETERMINER_H_

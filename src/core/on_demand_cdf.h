@@ -1,0 +1,69 @@
+#ifndef TRILLIONG_CORE_ON_DEMAND_CDF_H_
+#define TRILLIONG_CORE_ON_DEMAND_CDF_H_
+
+#include "model/noise.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// CDF accessor that computes F_u(2^x) from the seed parameters on *every*
+/// access instead of precomputing a RecVec — the "Idea #1 disabled" subject
+/// of the Figure 13 ablation (Section 4.3: "RMAT cannot reuse pre-computed
+/// result like RecVec"). Each access walks the per-level product of Lemma 2
+/// (O(log|V|)), so an edge determination pays O(log|V|) arithmetic per
+/// binary-search probe rather than one cached load.
+///
+/// Interface-compatible with RecVec<Real> where the edge determiners are
+/// concerned (scale / operator[] / Total / Sigma / InvSigma).
+template <typename Real>
+class OnDemandCdf {
+ public:
+  OnDemandCdf(const model::NoiseVector* noise, VertexId u)
+      : noise_(noise), u_(u), scale_(noise->levels()) {}
+
+  int scale() const { return scale_; }
+  VertexId source() const { return u_; }
+
+  Real operator[](int x) const { return Compute(x); }
+  Real Total() const { return Compute(scale_); }
+
+  Real Sigma(int k) const {
+    Real fk = Compute(k);
+    return (Compute(k + 1) - fk) / fk;
+  }
+
+  Real InvSigma(int k) const {
+    Real fk = Compute(k);
+    return fk / (Compute(k + 1) - fk);
+  }
+
+  /// Number of CDF evaluations performed so far (ablation statistic).
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  Real Compute(int x) const {
+    ++evaluations_;
+    // Lemma 2's product: levels below x contribute their row sum (both
+    // destination branches), levels at or above x pin the destination bit
+    // to zero.
+    Real value(1.0);
+    for (int p = 0; p < scale_; ++p) {
+      int bit = static_cast<int>((u_ >> p) & 1u);
+      if (p >= x) {
+        value = value * Real(noise_->EntryAtBit(p, bit, 0));
+      } else {
+        value = value * Real(noise_->RowSumAtBit(p, bit));
+      }
+    }
+    return value;
+  }
+
+  const model::NoiseVector* noise_;
+  VertexId u_;
+  int scale_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_ON_DEMAND_CDF_H_

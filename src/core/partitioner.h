@@ -1,0 +1,51 @@
+#ifndef TRILLIONG_CORE_PARTITIONER_H_
+#define TRILLIONG_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/noise.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// AVS-level workload partitioning (Section 5, Figure 6). TrillionG avoids
+/// the workload skew of shuffle-based generators by splitting the vertex
+/// range into bins of approximately equal *expected* edge counts before any
+/// edge is generated.
+///
+/// Two implementations are provided:
+///  * `PartitionByCdf` — closed-form: the cumulative expected out-degree
+///    Cum(u) = sum_{u' < u} P_{u'->} is computable in O(log|V|) from the
+///    Kronecker product structure (see EdgeProbability::
+///    CumulativeRowProbability); each bin boundary is found by binary search.
+///    This is how arbitrarily large scales are partitioned without touching
+///    every vertex.
+///  * `PartitionByCombine` — the paper's four-step combine / gather /
+///    repartition / scatter protocol operating on explicit per-thread bins;
+///    faithful to Figure 6 and used by the cluster driver at small scales and
+///    by tests as a cross-check of `PartitionByCdf`.
+
+/// Cumulative row-marginal probability sum_{u' < u} P_{u'->} under the
+/// (possibly noisy) per-level seed matrices, in O(log|V|).
+double CumulativeRowProbability(const model::NoiseVector& noise, VertexId u);
+
+/// Returns `num_bins + 1` boundaries b_0 = 0 <= b_1 <= ... <= b_num_bins =
+/// |V| such that each [b_i, b_{i+1}) carries ~1/num_bins of the total
+/// expected edge mass.
+std::vector<VertexId> PartitionByCdf(const model::NoiseVector& noise,
+                                     int num_bins);
+
+/// Figure 6 protocol. `thread_ranges` gives each thread's contiguous vertex
+/// range (equal vertex counts, as in the paper's combining step); each thread
+/// combines its per-vertex expected sizes into bins of ~|E|/p mass, the
+/// master gathers the bins, repartitions them to equal mass, and the returned
+/// boundaries are what would be scattered. Enumerates vertices (O(|V|)), so
+/// intended for moderate scales.
+std::vector<VertexId> PartitionByCombine(const model::NoiseVector& noise,
+                                         std::uint64_t num_edges,
+                                         int num_threads, int num_bins);
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_PARTITIONER_H_

@@ -1,0 +1,126 @@
+#ifndef TRILLIONG_CORE_REC_VEC_H_
+#define TRILLIONG_CORE_REC_VEC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "model/noise.h"
+#include "model/seed_matrix.h"
+#include "numeric/double_double.h"
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// Maximum supported scale (6-byte vertex IDs cap |V| at 2^48).
+inline constexpr int kMaxScale = 48;
+
+/// The recursive vector RecVec of a source vertex u (Definition 2):
+/// RecVec[x] = F_u(2^x) for x in [0, log|V|], where F_u is the CDF of the
+/// destination distribution of u. Built in O(log|V|) using Lemma 2 and kept
+/// in a fixed-size array so it lives on the stack / in CPU cache (key idea #1
+/// of Section 4.3).
+///
+/// `Real` is the arithmetic type: `double` for everyday scales, or
+/// `tg::numeric::DoubleDouble` (the paper's BigDecimal stand-in) when the
+/// CDF translation of Theorem 2 needs more than 53 mantissa bits.
+template <typename Real>
+class RecVec {
+ public:
+  RecVec() = default;
+
+  /// Builds RecVec for source vertex u. `noise` supplies the per-level seed
+  /// matrices (a noise-free NoiseVector reproduces plain SKG / RMAT;
+  /// Lemma 8 is realized simply by using the per-level noisy entries in the
+  /// same product form).
+  RecVec(const model::NoiseVector& noise, VertexId u) { Build(noise, u); }
+
+  void Build(const model::NoiseVector& noise, VertexId u) {
+    int scale = noise.levels();
+    TG_CHECK(scale >= 1 && scale <= kMaxScale);
+    scale_ = scale;
+    u_ = u;
+
+    // F_u(2^scale) = P_{u->} = prod over bit positions of rowsum(u[p])
+    // (Lemma 1, per-level for NSKG per Lemma 7).
+    Real total(1.0);
+    for (int p = 0; p < scale; ++p) {
+      total = total * Real(noise.RowSumAtBit(p, BitOf(u, p)));
+    }
+    values_[scale] = total;
+
+    // Downward recurrence from Lemma 2's product form:
+    // F_u(2^x) = F_u(2^{x+1}) * K_x(u[x], 0) / rowsum_x(u[x]),
+    // since lowering x by one pins bit x of the destination to zero.
+    for (int x = scale - 1; x >= 0; --x) {
+      int bit = BitOf(u, x);
+      Real ratio = Real(noise.EntryAtBit(x, bit, 0)) /
+                   Real(noise.RowSumAtBit(x, bit));
+      values_[x] = values_[x + 1] * ratio;
+    }
+
+    // Cache 1/sigma_{u[k]} per level so Theorem 2's translation is a
+    // subtract + multiply in the hot loop (part of key idea #1: everything
+    // derivable from the scope is precomputed once).
+    for (int k = 0; k < scale; ++k) {
+      inv_sigma_[k] = values_[k] / (values_[k + 1] - values_[k]);
+    }
+  }
+
+  int scale() const { return scale_; }
+  VertexId source() const { return u_; }
+
+  /// RecVec[x] == F_u(2^x).
+  const Real& operator[](int x) const { return values_[x]; }
+
+  /// Total row mass P_{u->} == F_u(|V|) — the upper bound of the uniform
+  /// random variable in Theorem 2.
+  const Real& Total() const { return values_[scale_]; }
+
+  /// sigma_{u[k]} (Lemma 3) computed from the stored CDF values, exactly as
+  /// Algorithm 5 line 3 does: (RecVec[k+1] - RecVec[k]) / RecVec[k].
+  Real Sigma(int k) const {
+    return (values_[k + 1] - values_[k]) / values_[k];
+  }
+
+  /// Precomputed 1 / sigma_{u[k]} (see Build).
+  Real InvSigma(int k) const { return inv_sigma_[k]; }
+
+  /// Bytes of the structure (Section 4.2: ~ (log|V|+1) * sizeof(Real)).
+  std::size_t MemoryBytes() const {
+    return static_cast<std::size_t>(scale_ + 1) * sizeof(Real);
+  }
+
+ private:
+  static int BitOf(VertexId u, int p) {
+    return static_cast<int>((u >> p) & 1u);
+  }
+
+  std::array<Real, kMaxScale + 1> values_{};
+  std::array<Real, kMaxScale> inv_sigma_{};
+  int scale_ = 0;
+  VertexId u_ = 0;
+};
+
+/// Draws a uniform random Real in [0, high). For DoubleDouble the value gets
+/// 106 random mantissa bits so that Theorem 2's repeated translation does not
+/// exhaust the randomness at extreme scales.
+template <typename Real>
+inline Real NextUniformReal(rng::Rng* rng, const Real& high);
+
+template <>
+inline double NextUniformReal<double>(rng::Rng* rng, const double& high) {
+  return rng->NextDouble(high);
+}
+
+template <>
+inline numeric::DoubleDouble NextUniformReal<numeric::DoubleDouble>(
+    rng::Rng* rng, const numeric::DoubleDouble& high) {
+  double hi = static_cast<double>(rng->NextUint64() >> 11) * 0x1.0p-53;
+  double lo = static_cast<double>(rng->NextUint64() >> 11) * 0x1.0p-106;
+  return numeric::DoubleDouble(hi, lo) * high;
+}
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_REC_VEC_H_

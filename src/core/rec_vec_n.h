@@ -1,0 +1,146 @@
+#ifndef TRILLIONG_CORE_REC_VEC_N_H_
+#define TRILLIONG_CORE_REC_VEC_N_H_
+
+#include <vector>
+
+#include "model/seed_matrix_n.h"
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// The recursive vector model generalized to n x n seed matrices — an
+/// extension beyond the paper, which develops RecVec for the 2 x 2 case and
+/// leaves general SKG to the FastKronecker baseline. The same two symmetries
+/// hold per base-n digit:
+///   * scale symmetry: within digit position k, block d's mass is block 0's
+///     mass times K(u[k], d) / K(u[k], 0);
+///   * translational symmetry: F_u(d * n^k + r) =
+///     F_u(d * n^k) + (K(u[k], d) / K(u[k], 0)) * F_u(r).
+/// So it suffices to store F_u(n^x) for x in [0, L] (L = log_n |V|) plus the
+/// seed row cumulatives; edge determination costs one digit search per
+/// nonzero digit of the destination, and space stays O(n * log_n |V|).
+class RecVecN {
+ public:
+  /// `u` is the source vertex; `levels` = log_n |V|.
+  RecVecN(const model::SeedMatrixN& seed, int levels, VertexId u)
+      : seed_(&seed), levels_(levels), u_(u) {
+    const int n = seed.n();
+
+    // Base-n digits of u (least significant first) and n^k magnitudes.
+    digits_.resize(levels);
+    pow_n_.resize(levels + 1);
+    pow_n_[0] = 1;
+    VertexId rest = u;
+    for (int k = 0; k < levels; ++k) {
+      digits_[k] = static_cast<int>(rest % n);
+      rest /= n;
+      pow_n_[k + 1] = pow_n_[k] * static_cast<VertexId>(n);
+    }
+    TG_CHECK_MSG(rest == 0, "source vertex out of range");
+
+    // F_u(n^L) = P_{u->} = prod rowsum(u[k]); then downward
+    // F_u(n^x) = F_u(n^{x+1}) * K(u[x], 0) / rowsum(u[x]).
+    values_.resize(levels + 1);
+    double total = 1.0;
+    for (int k = 0; k < levels; ++k) total *= seed.RowSum(digits_[k]);
+    values_[levels] = total;
+    for (int x = levels - 1; x >= 0; --x) {
+      int digit = digits_[x];
+      values_[x] =
+          values_[x + 1] * seed.Entry(digit, 0) / seed.RowSum(digit);
+    }
+
+    // Per-position block starts and scale ratios:
+    // block_start_[x][d] = F_u(d * n^x), ratio_[x][d] = K(u[x],d)/K(u[x],0).
+    block_start_.assign(levels, std::vector<double>(n + 1, 0.0));
+    ratio_.assign(levels, std::vector<double>(n, 0.0));
+    for (int x = 0; x < levels; ++x) {
+      double row_cum = 0;
+      double k0 = seed.Entry(digits_[x], 0);
+      TG_CHECK_MSG(k0 > 0, "RecVecN requires positive column-0 seed entries");
+      for (int d = 0; d < n; ++d) {
+        block_start_[x][d] = values_[x] * row_cum / k0;
+        ratio_[x][d] = seed.Entry(digits_[x], d) / k0;
+        row_cum += seed.Entry(digits_[x], d);
+      }
+      block_start_[x][n] = values_[x] * row_cum / k0;  // == F_u(n^{x+1})
+    }
+  }
+
+  int levels() const { return levels_; }
+  int n() const { return seed_->n(); }
+  VertexId source() const { return u_; }
+  double Total() const { return values_[levels_]; }
+
+  /// F_u(n^x).
+  double operator[](int x) const { return values_[x]; }
+
+  /// F_u(digit * n^x).
+  double BlockStart(int x, int digit) const {
+    return block_start_[x][digit];
+  }
+
+  /// Scale-symmetry ratio K(u[x], digit) / K(u[x], 0).
+  double BlockRatio(int x, int digit) const { return ratio_[x][digit]; }
+
+  VertexId PowN(int k) const { return pow_n_[k]; }
+
+  std::size_t MemoryBytes() const {
+    return values_.size() * sizeof(double) +
+           static_cast<std::size_t>(levels_) * (n() + 1) * sizeof(double) +
+           static_cast<std::size_t>(levels_) * n() * sizeof(double) +
+           digits_.size() * sizeof(int) + pow_n_.size() * sizeof(VertexId);
+  }
+
+ private:
+  const model::SeedMatrixN* seed_;
+  int levels_;
+  VertexId u_;
+  std::vector<int> digits_;
+  std::vector<VertexId> pow_n_;
+  std::vector<double> values_;
+  std::vector<std::vector<double>> block_start_;
+  std::vector<std::vector<double>> ratio_;
+};
+
+/// Theorem 2 generalized: repeatedly (1) binary-search the largest position
+/// k with F_u(n^k) <= x, (2) search the digit d whose block contains x,
+/// (3) translate x back into [0, F_u(n^k)), accumulating v += d * n^k.
+/// Positions whose destination digit is zero are skipped for free, exactly
+/// as in the 2 x 2 model.
+inline VertexId DetermineEdgeN(const RecVecN& rv, double x) {
+  VertexId v = 0;
+  int hi = rv.levels();
+  while (hi > 0 && x >= rv[0]) {
+    // Largest k in [0, hi) with rv[k] <= x.
+    int lo = 0, high = hi;
+    while (high - lo > 1) {
+      int mid = (lo + high) / 2;
+      if (rv[mid] <= x) {
+        lo = mid;
+      } else {
+        high = mid;
+      }
+    }
+    int k = lo;
+    // Digit d >= 1 with BlockStart(k, d) <= x < BlockStart(k, d + 1);
+    // linear scan, n is tiny.
+    int d = 1;
+    while (d + 1 < rv.n() && rv.BlockStart(k, d + 1) <= x) ++d;
+    x = (x - rv.BlockStart(k, d)) / rv.BlockRatio(k, d);
+    if (x < 0) x = 0;
+    v += static_cast<VertexId>(d) * rv.PowN(k);
+    hi = k;
+  }
+  return v;
+}
+
+/// Uniform deviate for the generalized model.
+inline double NextUniformForRecVecN(rng::Rng* rng, const RecVecN& rv) {
+  return rng->NextDouble(rv.Total());
+}
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_REC_VEC_N_H_

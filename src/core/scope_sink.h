@@ -1,0 +1,51 @@
+#ifndef TRILLIONG_CORE_SCOPE_SINK_H_
+#define TRILLIONG_CORE_SCOPE_SINK_H_
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace tg::core {
+
+/// Consumer of generated scopes. The AVS model produces edges grouped by
+/// scope vertex (the whole adjacency of one source under AVS-O, or of one
+/// destination under AVS-I), which is exactly what the ADJ/CSR writers want
+/// (Section 5: "the neighbors of each vertex are generated on the same
+/// machine").
+///
+/// One sink instance is owned by one worker; implementations need not be
+/// thread-safe.
+class ScopeSink {
+ public:
+  virtual ~ScopeSink() = default;
+
+  /// Delivers the adjacency of scope vertex `u`. `adj` holds `n` neighbor
+  /// IDs (destinations for AVS-O, sources for AVS-I); the buffer is only
+  /// valid for the duration of the call. Neighbors are NOT sorted.
+  virtual void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) = 0;
+
+  /// Flushes buffered output. Called exactly once, after the last scope.
+  virtual void Finish() {}
+};
+
+/// Sink that discards edges but counts them — used by benches that measure
+/// pure generation speed and by tests.
+class CountingSink : public ScopeSink {
+ public:
+  void ConsumeScope(VertexId /*u*/, const VertexId* /*adj*/,
+                    std::size_t n) override {
+    num_edges_ += n;
+    num_scopes_ += 1;
+  }
+
+  std::uint64_t num_edges() const { return num_edges_; }
+  std::uint64_t num_scopes() const { return num_scopes_; }
+
+ private:
+  std::uint64_t num_edges_ = 0;
+  std::uint64_t num_scopes_ = 0;
+};
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_SCOPE_SINK_H_

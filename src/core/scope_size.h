@@ -1,0 +1,31 @@
+#ifndef TRILLIONG_CORE_SCOPE_SIZE_H_
+#define TRILLIONG_CORE_SCOPE_SIZE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// Samples the size of a scope |S(u, V)| — the degree of vertex u — per
+/// Theorem 1: the number of successful Bernoulli trials among n = |E| edge
+/// trials with per-trial probability p = P_{u->} is Binomial(n, p),
+/// approximated by Normal(np, np(1-p)). The result is rounded, clamped to
+/// [0, max_degree] (a scope cannot hold more distinct neighbors than |V|).
+inline std::uint64_t SampleScopeSize(std::uint64_t num_edges, double p,
+                                     std::uint64_t max_degree,
+                                     rng::Rng* rng) {
+  double n = static_cast<double>(num_edges);
+  double mean = n * p;
+  double stddev = std::sqrt(std::max(mean * (1.0 - p), 0.0));
+  double sampled = mean + stddev * rng->NextGaussian();
+  if (sampled <= 0.0) return 0;
+  auto size = static_cast<std::uint64_t>(std::llround(sampled));
+  return size > max_degree ? max_degree : size;
+}
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_SCOPE_SIZE_H_

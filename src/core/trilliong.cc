@@ -1,0 +1,127 @@
+#include "core/trilliong.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "core/avs_generator.h"
+#include "core/partitioner.h"
+#include "util/stopwatch.h"
+
+namespace tg::core {
+
+namespace {
+
+/// Builds the per-level seed matrices for the run. AVS-I generates with the
+/// transposed seed (the noisy transpose equals the transpose of the noisy
+/// matrix because Definition 3 perturbs b and c symmetrically).
+model::NoiseVector MakeNoise(const TrillionGConfig& config) {
+  model::SeedMatrix seed = config.direction == Direction::kOut
+                               ? config.seed
+                               : config.seed.Transposed();
+  if (config.noise <= 0.0) {
+    return model::NoiseVector(seed, config.scale);
+  }
+  rng::Rng noise_rng(config.rng_seed, /*stream=*/0xA015E1ULL);
+  return model::NoiseVector(seed, config.scale, config.noise, &noise_rng);
+}
+
+template <typename Real>
+GenerateStats RunTyped(const TrillionGConfig& config,
+                       const SinkFactory& sink_factory) {
+  TG_CHECK(config.num_workers >= 1);
+  GenerateStats stats;
+  Stopwatch watch;
+
+  const model::NoiseVector noise = MakeNoise(config);
+  const std::vector<VertexId> boundaries =
+      PartitionByCdf(noise, config.num_workers);
+  stats.partition_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  const rng::Rng root(config.rng_seed, /*stream=*/1);
+  AvsRangeGenerator<Real> generator(&noise, config.NumEdges(),
+                                    config.determiner, config.budget,
+                                    config.exclude_self_loops);
+
+  std::vector<AvsWorkerStats> worker_stats(config.num_workers);
+  std::vector<std::exception_ptr> errors(config.num_workers);
+  std::vector<double> worker_cpu(config.num_workers, 0.0);
+
+  auto run_worker = [&](int w) {
+    double cpu_start = ThreadCpuSeconds();
+    try {
+      VertexId lo = boundaries[w];
+      VertexId hi = boundaries[w + 1];
+      std::unique_ptr<ScopeSink> sink = sink_factory(w, lo, hi);
+      TG_CHECK(sink != nullptr);
+      worker_stats[w] = generator.GenerateRange(lo, hi, root, sink.get());
+      sink->Finish();
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+    worker_cpu[w] = ThreadCpuSeconds() - cpu_start;
+  };
+
+  if (config.num_workers == 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(config.num_workers);
+    for (int w = 0; w < config.num_workers; ++w) {
+      threads.emplace_back(run_worker, w);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  AvsWorkerStats merged;
+  for (const AvsWorkerStats& s : worker_stats) merged.MergeFrom(s);
+  stats.num_edges = merged.num_edges;
+  stats.num_scopes = merged.num_scopes;
+  stats.max_degree = merged.max_degree;
+  stats.peak_scope_bytes = merged.peak_scope_bytes;
+  stats.rec_vec_builds = merged.rec_vec_builds;
+  stats.generate_seconds = watch.ElapsedSeconds();
+  for (double cpu : worker_cpu) {
+    stats.max_worker_cpu_seconds = std::max(stats.max_worker_cpu_seconds, cpu);
+  }
+  return stats;
+}
+
+}  // namespace
+
+GenerateStats Generate(const TrillionGConfig& config,
+                       const SinkFactory& sink_factory) {
+  if (config.precision == Precision::kDoubleDouble) {
+    return RunTyped<numeric::DoubleDouble>(config, sink_factory);
+  }
+  return RunTyped<double>(config, sink_factory);
+}
+
+GenerateStats GenerateToSink(const TrillionGConfig& config, ScopeSink* sink) {
+  TG_CHECK_MSG(config.num_workers == 1,
+               "GenerateToSink requires num_workers == 1");
+  return Generate(config, [sink](int, VertexId, VertexId) {
+    // Non-owning wrapper around the caller's sink.
+    class Forward : public ScopeSink {
+     public:
+      explicit Forward(ScopeSink* inner) : inner_(inner) {}
+      void ConsumeScope(VertexId u, const VertexId* adj,
+                        std::size_t n) override {
+        inner_->ConsumeScope(u, adj, n);
+      }
+      // Finish() intentionally not forwarded: the caller owns flushing.
+
+     private:
+      ScopeSink* inner_;
+    };
+    return std::make_unique<Forward>(sink);
+  });
+}
+
+}  // namespace tg::core

@@ -1,0 +1,91 @@
+#ifndef TRILLIONG_CORE_TRILLIONG_H_
+#define TRILLIONG_CORE_TRILLIONG_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/edge_determiner.h"
+#include "core/scope_sink.h"
+#include "model/seed_matrix.h"
+#include "util/memory_budget.h"
+
+namespace tg::core {
+
+/// RecVec arithmetic precision (Section 5: TrillionG uses BigDecimal; our
+/// DoubleDouble plays that role — see DESIGN.md).
+enum class Precision { kDouble, kDoubleDouble };
+
+/// Scope orientation (Section 3.3): AVS-O scopes are source rows (1 x |V|),
+/// AVS-I scopes are destination columns (|V| x 1).
+enum class Direction { kOut, kIn };
+
+/// Configuration of a TrillionG generation run — the public entry point of
+/// the library.
+struct TrillionGConfig {
+  /// 2x2 seed probability matrix (Graph500 standard by default).
+  model::SeedMatrix seed = model::SeedMatrix::Graph500();
+  /// log2 |V|.
+  int scale = 20;
+  /// |E| = edge_factor * |V| unless num_edges overrides it (Graph500 uses 16).
+  std::uint64_t edge_factor = 16;
+  /// Explicit |E|; 0 means "use edge_factor".
+  std::uint64_t num_edges = 0;
+  /// NSKG noise parameter N (Appendix C); 0 disables noise.
+  double noise = 0.0;
+  /// Root RNG seed; the whole run is deterministic given this.
+  std::uint64_t rng_seed = 42;
+  /// Worker threads ("machines x threads" of the paper's cluster).
+  int num_workers = 1;
+  Precision precision = Precision::kDouble;
+  Direction direction = Direction::kOut;
+  /// Ablation toggles for the three key ideas (Figure 13).
+  DeterminerOptions determiner;
+  /// Reject edges (u, u) during generation (the Graph500 specification
+  /// discards self-loops; RMAT-family models allow them by default).
+  bool exclude_self_loops = false;
+  /// Optional per-machine memory cap; OomError propagates to the caller.
+  MemoryBudget* budget = nullptr;
+
+  std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
+  std::uint64_t NumEdges() const {
+    return num_edges != 0 ? num_edges : edge_factor << scale;
+  }
+};
+
+/// Aggregate statistics of a generation run.
+struct GenerateStats {
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_scopes = 0;
+  std::uint64_t max_degree = 0;
+  /// Peak per-scope working set over all workers — the O(d_max) bytes.
+  std::uint64_t peak_scope_bytes = 0;
+  std::uint64_t rec_vec_builds = 0;
+  double partition_seconds = 0.0;
+  /// Wall-clock of the generation phase on this host.
+  double generate_seconds = 0.0;
+  /// Maximum per-worker CPU time: the simulated parallel wall-clock when
+  /// every worker has its own core (used by the cluster-comparison benches
+  /// on oversubscribed hosts).
+  double max_worker_cpu_seconds = 0.0;
+};
+
+/// Creates one sink per worker. Called before generation starts, with the
+/// worker index and its vertex range [lo, hi).
+using SinkFactory = std::function<std::unique_ptr<ScopeSink>(
+    int worker, VertexId lo, VertexId hi)>;
+
+/// Runs the full TrillionG pipeline: AVS-level range partitioning (Figure 6)
+/// followed by parallel scope generation under the recursive vector model
+/// (Algorithm 4). Each worker streams its scopes to its own sink in
+/// increasing vertex order. Deterministic given config.rng_seed, regardless
+/// of num_workers.
+GenerateStats Generate(const TrillionGConfig& config,
+                       const SinkFactory& sink_factory);
+
+/// Convenience: generation into a single caller-provided sink; only valid
+/// with num_workers == 1.
+GenerateStats GenerateToSink(const TrillionGConfig& config, ScopeSink* sink);
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_TRILLIONG_H_

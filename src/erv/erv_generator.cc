@@ -1,0 +1,147 @@
+#include "erv/erv_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/edge_determiner.h"
+#include "rng/alias_table.h"
+#include "core/rec_vec.h"
+#include "core/scope_size.h"
+#include "model/edge_probability.h"
+#include "model/noise.h"
+#include "util/flat_set64.h"
+
+namespace tg::erv {
+
+namespace {
+
+int CeilLog2(std::uint64_t n) {
+  TG_CHECK(n >= 1);
+  int scale = 0;
+  while ((std::uint64_t{1} << scale) < n) ++scale;
+  return std::max(scale, 1);
+}
+
+/// Builds the seed matrix whose row conditionals equal the *column marginal*
+/// of `in_seed`, i.e. every destination bit is 1 with probability
+/// t = b + d regardless of the source bits. This makes the ERV in-degree
+/// distribution independent of Kout (Section 6.1) while matching Table 3's
+/// in-slope log2(b+d) - log2(a+c) exactly.
+model::SeedMatrix MarginalizedInSeed(const model::SeedMatrix& in_seed) {
+  double t = in_seed.ColSum(1);
+  return model::SeedMatrix((1 - t) / 2, t / 2, (1 - t) / 2, t / 2);
+}
+
+}  // namespace
+
+model::SeedMatrix SeedForSpec(const DegreeSpec& spec) {
+  switch (spec.kind) {
+    case DegreeSpec::Kind::kZipfian:
+      return model::SeedMatrix::FromZipfOutSlope(spec.zipf_slope);
+    case DegreeSpec::Kind::kGaussian:
+    case DegreeSpec::Kind::kUniform:
+    case DegreeSpec::Kind::kEmpirical:
+      // Table 3: K[0.25 x4] gives the Gaussian (binomial) distribution with
+      // mu = |E| / |V|. Uniform and empirical degrees are drawn directly
+      // (see below); the uniform seed only matters if the spec is used for
+      // the opposite side, where those kinds degrade to uniform targets.
+      return model::SeedMatrix::ErdosRenyi();
+  }
+  TG_CHECK(false);
+  return model::SeedMatrix::ErdosRenyi();
+}
+
+ErvStats GenerateErv(const ErvOptions& options,
+                     const RichEdgeConsumer& consume) {
+  TG_CHECK(options.num_sources >= 1);
+  TG_CHECK(options.num_destinations >= 1);
+  const int src_scale = CeilLog2(options.num_sources);
+  const int gen_scale = CeilLog2(options.num_destinations);
+  const VertexId gen_range = VertexId{1} << gen_scale;
+
+  // Out side: scope sizes from Kout's row marginals, renormalized over the
+  // rows actually used (num_sources need not be a power of two).
+  const model::SeedMatrix out_seed = SeedForSpec(options.out_degree);
+  const model::EdgeProbability out_prob(out_seed, src_scale);
+  const double out_norm =
+      options.num_sources == out_prob.num_vertices()
+          ? 1.0
+          : out_prob.CumulativeRowProbability(options.num_sources);
+
+  // In side: one RecVec shared by every scope (the marginalized seed makes
+  // the conditional independent of the source bits). The transpose maps the
+  // spec's *in*-slope onto the column mass: for a target in-slope s the
+  // destination-bit probability must be t = 1 / (1 + 2^-s), which is the
+  // transposed matrix's ColSum(1).
+  const model::SeedMatrix in_seed =
+      MarginalizedInSeed(SeedForSpec(options.in_degree).Transposed());
+  const model::NoiseVector in_noise(in_seed, gen_scale);
+  const core::RecVec<double> rec_vec(in_noise, /*u=*/0);
+
+  // Empirical out-degrees: alias table over the (degree, frequency) pairs.
+  std::unique_ptr<rng::AliasTable> empirical_sampler;
+  if (options.out_degree.kind == DegreeSpec::Kind::kEmpirical) {
+    TG_CHECK_MSG(options.out_degree.empirical != nullptr &&
+                     !options.out_degree.empirical->empty(),
+                 "empirical spec needs a frequency table");
+    std::vector<double> weights;
+    weights.reserve(options.out_degree.empirical->size());
+    for (const auto& [degree, count] : *options.out_degree.empirical) {
+      (void)degree;
+      weights.push_back(static_cast<double>(count));
+    }
+    empirical_sampler = std::make_unique<rng::AliasTable>(weights);
+  }
+
+  const rng::Rng root(options.rng_seed, /*stream=*/7);
+  ErvStats stats;
+  FlatSet64 dedup;
+  for (VertexId u = 0; u < options.num_sources; ++u) {
+    rng::Rng rng = root.Fork(u);
+
+    std::uint64_t degree;
+    if (options.out_degree.kind == DegreeSpec::Kind::kUniform) {
+      std::uint64_t lo = options.out_degree.uniform_min;
+      std::uint64_t hi = options.out_degree.uniform_max;
+      TG_CHECK(hi >= lo);
+      degree = lo + rng.NextBounded(hi - lo + 1);
+    } else if (options.out_degree.kind == DegreeSpec::Kind::kEmpirical) {
+      degree =
+          (*options.out_degree.empirical)[empirical_sampler->Sample(&rng)]
+              .first;
+    } else {
+      double p = out_prob.RowProbability(u) / out_norm;
+      degree = core::SampleScopeSize(options.num_edges, p,
+                                     options.num_destinations, &rng);
+    }
+    degree = std::min<std::uint64_t>(degree, options.num_destinations);
+    if (degree == 0) continue;
+
+    dedup.Reset(degree);
+    std::uint64_t produced = 0;
+    std::uint64_t attempts = 0;
+    const std::uint64_t max_attempts = 100 * degree + 10000;
+    while (produced < degree && attempts < max_attempts) {
+      ++attempts;
+      double x = core::NextUniformReal<double>(&rng, rec_vec.Total());
+      VertexId v = core::DetermineEdge(rec_vec, x);
+      // Map the power-of-two generation range onto [0, num_destinations)
+      // (Section 6.1: v' = round(|Vdst| / |Vsrc| * v), applied to the
+      // enclosing power-of-two range).
+      VertexId mapped = static_cast<VertexId>(
+          (static_cast<unsigned __int128>(v) * options.num_destinations) >>
+          gen_scale);
+      if (gen_range == options.num_destinations) mapped = v;
+      if (dedup.Insert(mapped)) {
+        consume(u, mapped);
+        ++produced;
+      }
+    }
+    stats.num_edges += produced;
+    stats.num_scopes += 1;
+    stats.max_out_degree = std::max(stats.max_out_degree, produced);
+  }
+  return stats;
+}
+
+}  // namespace tg::erv

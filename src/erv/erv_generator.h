@@ -1,0 +1,102 @@
+#ifndef TRILLIONG_ERV_ERV_GENERATOR_H_
+#define TRILLIONG_ERV_ERV_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "model/seed_matrix.h"
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::erv {
+
+/// An edge of a rich graph: source and destination are *global* vertex IDs
+/// (offsets into their node-type ranges already applied by the caller).
+using RichEdgeConsumer = std::function<void(VertexId src, VertexId dst)>;
+
+/// The extended recursive vector (ERV) model of Section 6.1: generalizes the
+/// recursive vector model to
+///   * different seed parameters for scope sizes (Kout -> out-degree
+///     distribution) and edge determination (Kin -> in-degree distribution);
+///   * different source and destination vertex ranges (|Vsrc| != |Vdst|),
+///     with destinations produced in the enclosing power-of-two range and
+///     mapped into [0, |Vdst|) by proportional rounding.
+///
+/// Degree-distribution selection follows Table 3:
+///   * Zipfian with slope s  -> SeedMatrix::FromZipfOutSlope(s)
+///   * Gaussian (mu = |E|/|V|) -> uniform seed [0.25 x4]
+///   * Uniform(lo, hi)       -> degrees drawn uniformly, destinations by Kin
+struct DegreeSpec {
+  enum class Kind { kZipfian, kGaussian, kUniform, kEmpirical };
+  Kind kind = Kind::kZipfian;
+  double zipf_slope = -1.662;      ///< Zipfian only
+  std::uint64_t uniform_min = 1;   ///< Uniform only
+  std::uint64_t uniform_max = 16;  ///< Uniform only
+  /// Empirical only: (degree, frequency) pairs — the data-driven
+  /// "frequency distribution" extension of Section 8's future work. Out-side
+  /// degrees are drawn i.i.d. from this table (alias method).
+  std::shared_ptr<const std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      empirical;
+
+  static DegreeSpec Zipfian(double slope) {
+    DegreeSpec spec;
+    spec.kind = Kind::kZipfian;
+    spec.zipf_slope = slope;
+    return spec;
+  }
+  static DegreeSpec Gaussian() {
+    DegreeSpec spec;
+    spec.kind = Kind::kGaussian;
+    return spec;
+  }
+  static DegreeSpec Uniform(std::uint64_t lo, std::uint64_t hi) {
+    DegreeSpec spec;
+    spec.kind = Kind::kUniform;
+    spec.uniform_min = lo;
+    spec.uniform_max = hi;
+    return spec;
+  }
+  static DegreeSpec Empirical(
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> table) {
+    DegreeSpec spec;
+    spec.kind = Kind::kEmpirical;
+    spec.empirical = std::make_shared<
+        const std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+        std::move(table));
+    return spec;
+  }
+};
+
+struct ErvOptions {
+  /// Number of source vertices (need not be a power of two).
+  std::uint64_t num_sources = 1 << 16;
+  /// Number of destination vertices.
+  std::uint64_t num_destinations = 1 << 16;
+  /// Total edges to generate (before per-scope dedup).
+  std::uint64_t num_edges = 1 << 20;
+  DegreeSpec out_degree = DegreeSpec::Zipfian(-1.662);
+  DegreeSpec in_degree = DegreeSpec::Gaussian();
+  std::uint64_t rng_seed = 42;
+};
+
+struct ErvStats {
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_scopes = 0;
+  std::uint64_t max_out_degree = 0;
+};
+
+/// Generates the edge set. Sources and destinations are emitted as local IDs
+/// in [0, num_sources) / [0, num_destinations); the gMark layer offsets them
+/// into global ranges.
+ErvStats GenerateErv(const ErvOptions& options,
+                     const RichEdgeConsumer& consume);
+
+/// Maps a degree spec to the seed matrix controlling that side's marginal
+/// (Table 3). Exposed for tests.
+model::SeedMatrix SeedForSpec(const DegreeSpec& spec);
+
+}  // namespace tg::erv
+
+#endif  // TRILLIONG_ERV_ERV_GENERATOR_H_

@@ -1,0 +1,45 @@
+#include "format/adj6.h"
+
+namespace tg::format {
+
+Adj6Writer::Adj6Writer(const std::string& path) { writer_.Open(path); }
+
+void Adj6Writer::ConsumeScope(VertexId u, const VertexId* adj,
+                              std::size_t n) {
+  if (n == 0) return;
+  writer_.Append48(u);
+  writer_.Append48(n);
+  for (std::size_t i = 0; i < n; ++i) writer_.Append48(adj[i]);
+}
+
+void Adj6Writer::Finish() { writer_.Close(); }
+
+Adj6Reader::Adj6Reader(const std::string& path) {
+  status_ = reader_.Open(path);
+}
+
+bool Adj6Reader::Next(VertexId* u, std::vector<VertexId>* adj) {
+  if (!status_.ok()) return false;
+  std::uint64_t vertex, degree;
+  if (!reader_.Read48(&vertex)) return false;
+  TG_CHECK_MSG(reader_.Read48(&degree), "truncated ADJ6 record header");
+  adj->resize(degree);
+  for (std::uint64_t i = 0; i < degree; ++i) {
+    TG_CHECK_MSG(reader_.Read48(&(*adj)[i]), "truncated ADJ6 adjacency");
+  }
+  *u = vertex;
+  return true;
+}
+
+Status Adj6Reader::ForEach(
+    const std::string& path,
+    const std::function<void(VertexId, const std::vector<VertexId>&)>& fn) {
+  Adj6Reader reader(path);
+  if (!reader.status().ok()) return reader.status();
+  VertexId u;
+  std::vector<VertexId> adj;
+  while (reader.Next(&u, &adj)) fn(u, adj);
+  return reader.status();
+}
+
+}  // namespace tg::format

@@ -1,0 +1,133 @@
+#include "format/csr6.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/file_io.h"
+
+namespace tg::format {
+
+Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi)
+    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo) {
+  TG_CHECK(hi >= lo);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + path);
+    return;
+  }
+  offsets_.assign(hi - lo + 1, 0);
+  // Reserve the header + offsets region; it is rewritten in Finish() once
+  // the offsets are known, so edges can stream sequentially after it.
+  std::vector<char> zeros(8 * 5 + offsets_.size() * 8, 0);
+  if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
+    status_ = Status::IoError("write failed: " + path);
+  }
+  bytes_written_ = zeros.size();
+}
+
+Csr6Writer::~Csr6Writer() {
+  if (!finished_) Finish();
+}
+
+void Csr6Writer::FlushBuffer() {
+  if (buffer_.empty()) return;
+  if (status_.ok() &&
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+          buffer_.size()) {
+    status_ = Status::IoError("write failed: " + path_);
+  }
+  buffer_.clear();
+}
+
+void Csr6Writer::Put48(std::uint64_t value) {
+  TG_CHECK_MSG(value < (std::uint64_t{1} << 48),
+               "value does not fit in 6 bytes: " << value);
+  for (int i = 0; i < 6; ++i) {
+    buffer_.push_back(static_cast<unsigned char>((value >> (8 * i)) & 0xFF));
+  }
+  if (buffer_.size() >= (1u << 20)) FlushBuffer();
+  bytes_written_ += 6;
+}
+
+void Csr6Writer::Put64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<unsigned char>((value >> (8 * i)) & 0xFF));
+  }
+  if (buffer_.size() >= (1u << 20)) FlushBuffer();
+}
+
+void Csr6Writer::ConsumeScope(VertexId u, const VertexId* adj,
+                              std::size_t n) {
+  TG_CHECK_MSG(u >= next_vertex_ && u < hi_,
+               "CSR6 scopes must arrive in increasing order within [lo, hi)");
+  next_vertex_ = u + 1;
+  offsets_[u - lo_ + 1] = n;  // degree for now; prefix-summed in Finish()
+  sorted_.assign(adj, adj + n);
+  std::sort(sorted_.begin(), sorted_.end());
+  for (VertexId v : sorted_) Put48(v);
+  num_edges_ += n;
+}
+
+void Csr6Writer::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (file_ == nullptr) return;
+  FlushBuffer();  // remaining edge bytes
+  // Degrees -> offsets.
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  if (status_.ok() && std::fseek(file_, 0, SEEK_SET) != 0) {
+    status_ = Status::IoError("seek failed: " + path_);
+  }
+  if (status_.ok()) {
+    if (std::fwrite(kMagic, 1, 8, file_) != 8) {
+      status_ = Status::IoError("write failed: " + path_);
+    }
+    Put64(kVersion);
+    Put64(lo_);
+    Put64(hi_);
+    Put64(num_edges_);
+    for (std::uint64_t off : offsets_) Put64(off);
+    FlushBuffer();
+  }
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::IoError("close failed: " + path_);
+  }
+  file_ = nullptr;
+}
+
+Csr6Reader::Csr6Reader(const std::string& path) {
+  storage::FileReader reader;
+  status_ = reader.Open(path);
+  if (!status_.ok()) return;
+
+  char magic[8];
+  if (!reader.Read(magic, 8) ||
+      std::memcmp(magic, Csr6Writer::kMagic, 8) != 0) {
+    status_ = Status::Corruption("bad CSR6 magic: " + path);
+    return;
+  }
+  std::uint64_t version, lo, hi, num_edges;
+  TG_CHECK(reader.Read64(&version));
+  if (version != Csr6Writer::kVersion) {
+    status_ = Status::Corruption("unsupported CSR6 version");
+    return;
+  }
+  TG_CHECK(reader.Read64(&lo));
+  TG_CHECK(reader.Read64(&hi));
+  TG_CHECK(reader.Read64(&num_edges));
+  lo_ = lo;
+  hi_ = hi;
+  offsets_.resize(hi - lo + 1);
+  for (std::uint64_t& off : offsets_) {
+    TG_CHECK_MSG(reader.Read64(&off), "truncated CSR6 offsets");
+  }
+  TG_CHECK_MSG(offsets_.back() == num_edges, "CSR6 offsets/edge-count mismatch");
+  edges_.resize(num_edges);
+  for (VertexId& v : edges_) {
+    TG_CHECK_MSG(reader.Read48(&v), "truncated CSR6 edges");
+  }
+}
+
+}  // namespace tg::format

@@ -1,0 +1,89 @@
+#ifndef TRILLIONG_FORMAT_CSR6_H_
+#define TRILLIONG_FORMAT_CSR6_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scope_sink.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tg::format {
+
+/// The 6-byte Compressed Sparse Row binary format of Section 5 (CSR6). One
+/// file covers a contiguous vertex range [lo, hi) (a shard; the whole graph
+/// when lo == 0 and hi == |V|):
+///
+///   [magic "TGCSR6\0\0" : 8][version : 8][lo : 8][hi : 8][num_edges : 8]
+///   [offsets : (hi - lo + 1) * 8]          // offsets[i] = first edge of lo+i
+///   [neighbors : num_edges * 6]            // sorted within each adjacency
+///
+/// Scopes must be fed in increasing vertex order (exactly what the AVS
+/// generator produces); adjacency lists are sorted by the writer.
+class Csr6Writer : public core::ScopeSink {
+ public:
+  Csr6Writer(const std::string& path, VertexId lo, VertexId hi);
+  ~Csr6Writer() override;
+
+  void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override;
+  void Finish() override;
+
+  const Status& status() const { return status_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  static constexpr char kMagic[8] = {'T', 'G', 'C', 'S', 'R', '6', 0, 0};
+  static constexpr std::uint64_t kVersion = 1;
+
+ private:
+  void Put48(std::uint64_t value);
+  void Put64(std::uint64_t value);
+  void FlushBuffer();
+
+  std::vector<unsigned char> buffer_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Status status_;
+  VertexId lo_;
+  VertexId hi_;
+  VertexId next_vertex_;
+  std::uint64_t num_edges_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> sorted_;
+  bool finished_ = false;
+};
+
+/// Loads a CSR6 shard fully into memory.
+class Csr6Reader {
+ public:
+  explicit Csr6Reader(const std::string& path);
+
+  const Status& status() const { return status_; }
+  VertexId lo() const { return lo_; }
+  VertexId hi() const { return hi_; }
+  std::uint64_t num_edges() const { return edges_.size(); }
+
+  std::uint64_t Degree(VertexId u) const {
+    TG_CHECK(u >= lo_ && u < hi_);
+    return offsets_[u - lo_ + 1] - offsets_[u - lo_];
+  }
+
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    TG_CHECK(u >= lo_ && u < hi_);
+    return std::span<const VertexId>(edges_.data() + offsets_[u - lo_],
+                                     Degree(u));
+  }
+
+ private:
+  Status status_;
+  VertexId lo_ = 0;
+  VertexId hi_ = 0;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> edges_;
+};
+
+}  // namespace tg::format
+
+#endif  // TRILLIONG_FORMAT_CSR6_H_

@@ -1,0 +1,81 @@
+#include "format/tsv.h"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace tg::format {
+
+namespace {
+
+/// Fast unsigned decimal formatting into `buf`; returns length.
+int FormatU64(std::uint64_t value, char* buf) {
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (int i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+}  // namespace
+
+TsvWriter::TsvWriter(const std::string& path, bool transposed)
+    : transposed_(transposed) {
+  writer_.Open(path);
+}
+
+void TsvWriter::WriteEdge(VertexId src, VertexId dst) {
+  char line[44];
+  int n = FormatU64(src, line);
+  line[n++] = '\t';
+  n += FormatU64(dst, line + n);
+  line[n++] = '\n';
+  writer_.Append(line, n);
+}
+
+void TsvWriter::ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) {
+  if (transposed_) {
+    for (std::size_t i = 0; i < n; ++i) WriteEdge(adj[i], u);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) WriteEdge(u, adj[i]);
+  }
+}
+
+void TsvWriter::Finish() { writer_.Close(); }
+
+TsvReader::TsvReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for read: " + path);
+  }
+}
+
+TsvReader::~TsvReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TsvReader::Next(Edge* edge) {
+  if (file_ == nullptr) return false;
+  std::uint64_t src, dst;
+  int got = std::fscanf(file_, "%" SCNu64 " %" SCNu64, &src, &dst);
+  if (got == EOF) return false;
+  if (got != 2) {
+    status_ = Status::Corruption("malformed TSV line");
+    return false;
+  }
+  edge->src = src;
+  edge->dst = dst;
+  return true;
+}
+
+std::vector<Edge> TsvReader::ReadAll(const std::string& path) {
+  TsvReader reader(path);
+  std::vector<Edge> edges;
+  Edge e;
+  while (reader.Next(&e)) edges.push_back(e);
+  return edges;
+}
+
+}  // namespace tg::format

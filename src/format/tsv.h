@@ -1,0 +1,62 @@
+#ifndef TRILLIONG_FORMAT_TSV_H_
+#define TRILLIONG_FORMAT_TSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scope_sink.h"
+#include "storage/file_io.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tg::format {
+
+/// Edge-list text writer: one "src\tdst\n" line per edge (the TSV format of
+/// Section 5 — verbose, universally supported, slow to parse).
+class TsvWriter : public core::ScopeSink {
+ public:
+  /// `transposed` swaps the emitted columns; used when the scopes come from
+  /// an AVS-I run (scope vertex is the destination).
+  explicit TsvWriter(const std::string& path, bool transposed = false);
+
+  void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override;
+  void Finish() override;
+
+  /// Writes one explicit edge (for edge-at-a-time baselines).
+  void WriteEdge(VertexId src, VertexId dst);
+
+  const Status& status() const { return writer_.status(); }
+  std::uint64_t bytes_written() const { return writer_.bytes_written(); }
+
+ private:
+  storage::FileWriter writer_;
+  bool transposed_;
+};
+
+/// Reads a TSV edge list produced by TsvWriter (or any whitespace-separated
+/// pair-per-line file).
+class TsvReader {
+ public:
+  explicit TsvReader(const std::string& path);
+
+  /// Reads the next edge; returns false at EOF.
+  bool Next(Edge* edge);
+
+  /// Convenience: reads the whole file.
+  static std::vector<Edge> ReadAll(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  Status status_;
+
+ public:
+  ~TsvReader();
+  TsvReader(const TsvReader&) = delete;
+  TsvReader& operator=(const TsvReader&) = delete;
+};
+
+}  // namespace tg::format
+
+#endif  // TRILLIONG_FORMAT_TSV_H_

@@ -1,0 +1,260 @@
+#include "gmark/graph_config.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tg::gmark {
+
+namespace {
+
+/// Parses "zipfian:-1.662", "gaussian", or "uniform:1:3".
+bool ParseDegreeSpec(const std::string& text, erv::DegreeSpec* spec) {
+  if (text == "gaussian") {
+    *spec = erv::DegreeSpec::Gaussian();
+    return true;
+  }
+  if (text.rfind("zipfian:", 0) == 0) {
+    char* end = nullptr;
+    double slope = std::strtod(text.c_str() + 8, &end);
+    if (end == nullptr || *end != '\0' || slope >= 0) return false;
+    *spec = erv::DegreeSpec::Zipfian(slope);
+    return true;
+  }
+  if (text.rfind("uniform:", 0) == 0) {
+    std::size_t second_colon = text.find(':', 8);
+    if (second_colon == std::string::npos) return false;
+    std::uint64_t lo = std::strtoull(text.substr(8).c_str(), nullptr, 10);
+    std::uint64_t hi =
+        std::strtoull(text.substr(second_colon + 1).c_str(), nullptr, 10);
+    if (hi < lo) return false;
+    *spec = erv::DegreeSpec::Uniform(lo, hi);
+    return true;
+  }
+  if (text.rfind("empirical:", 0) == 0) {
+    // Data-driven frequency table: "empirical:<deg>*<count>[,<deg>*<count>]"
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> table;
+    std::istringstream entries(text.substr(10));
+    std::string entry;
+    while (std::getline(entries, entry, ',')) {
+      std::size_t star = entry.find('*');
+      if (star == std::string::npos) return false;
+      std::uint64_t degree =
+          std::strtoull(entry.substr(0, star).c_str(), nullptr, 10);
+      std::uint64_t count =
+          std::strtoull(entry.substr(star + 1).c_str(), nullptr, 10);
+      if (count == 0) return false;
+      table.emplace_back(degree, count);
+    }
+    if (table.empty()) return false;
+    *spec = erv::DegreeSpec::Empirical(std::move(table));
+    return true;
+  }
+  return false;
+}
+
+std::string FormatDegreeSpec(const erv::DegreeSpec& spec) {
+  std::ostringstream out;
+  switch (spec.kind) {
+    case erv::DegreeSpec::Kind::kZipfian:
+      out << "zipfian:" << spec.zipf_slope;
+      break;
+    case erv::DegreeSpec::Kind::kGaussian:
+      out << "gaussian";
+      break;
+    case erv::DegreeSpec::Kind::kUniform:
+      out << "uniform:" << spec.uniform_min << ":" << spec.uniform_max;
+      break;
+    case erv::DegreeSpec::Kind::kEmpirical: {
+      out << "empirical:";
+      bool first = true;
+      for (const auto& [degree, count] : *spec.empirical) {
+        if (!first) out << ",";
+        out << degree << "*" << count;
+        first = false;
+      }
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+GraphConfig GraphConfig::Bibliography(std::uint64_t total_nodes,
+                                      std::uint64_t total_edges) {
+  GraphConfig config;
+  config.total_nodes = total_nodes;
+  config.total_edges = total_edges;
+  config.node_types = {{"researcher", 0.5},
+                       {"paper", 0.3},
+                       {"journal", 0.1},
+                       {"conference", 0.1}};
+  config.predicates = {{"author", 0.5}, {"publishedIn", 0.3}, {"heldIn", 0.2}};
+  config.schema = {
+      // Figure 7(a) row 1: researcher --author--> paper, Zipfian out
+      // (Graph500 slope), Gaussian in.
+      {"researcher", "author", "paper", erv::DegreeSpec::Zipfian(-1.662),
+       erv::DegreeSpec::Gaussian()},
+      // A paper appears in exactly one venue; venue in-degrees are skewed
+      // (a few prolific journals) or balanced (conferences), respectively.
+      {"paper", "publishedIn", "journal", erv::DegreeSpec::Uniform(1, 1),
+       erv::DegreeSpec::Zipfian(-2.0)},
+      {"paper", "heldIn", "conference", erv::DegreeSpec::Uniform(1, 1),
+       erv::DegreeSpec::Gaussian()},
+  };
+  return config;
+}
+
+Status GraphConfig::Parse(const std::string& text, GraphConfig* config) {
+  *config = GraphConfig();
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     why);
+    };
+
+    if (keyword == "nodes") {
+      if (!(tokens >> config->total_nodes)) return fail("nodes needs a count");
+    } else if (keyword == "edges") {
+      if (!(tokens >> config->total_edges)) return fail("edges needs a count");
+    } else if (keyword == "type") {
+      NodeType t;
+      if (!(tokens >> t.name >> t.ratio)) return fail("type needs name ratio");
+      config->node_types.push_back(t);
+    } else if (keyword == "predicate") {
+      Predicate p;
+      if (!(tokens >> p.name >> p.ratio)) {
+        return fail("predicate needs name ratio");
+      }
+      config->predicates.push_back(p);
+    } else if (keyword == "schema") {
+      SchemaEntry e;
+      std::string out_text, in_text;
+      if (!(tokens >> e.source_type >> e.predicate >> e.target_type >>
+            out_text >> in_text)) {
+        return fail("schema needs src pred dst out=<dist> in=<dist>");
+      }
+      if (out_text.rfind("out=", 0) != 0 || in_text.rfind("in=", 0) != 0) {
+        return fail("schema distributions must be out=... in=...");
+      }
+      if (!ParseDegreeSpec(out_text.substr(4), &e.out_degree)) {
+        return fail("bad out distribution: " + out_text.substr(4));
+      }
+      if (!ParseDegreeSpec(in_text.substr(3), &e.in_degree)) {
+        return fail("bad in distribution: " + in_text.substr(3));
+      }
+      config->schema.push_back(e);
+    } else {
+      return fail("unknown keyword: " + keyword);
+    }
+  }
+  return config->Validate();
+}
+
+Status GraphConfig::Validate() const {
+  if (total_nodes == 0) return Status::InvalidArgument("total nodes is zero");
+  if (total_edges == 0) return Status::InvalidArgument("total edges is zero");
+  if (node_types.empty()) return Status::InvalidArgument("no node types");
+  double type_sum = 0;
+  for (const NodeType& t : node_types) {
+    if (t.ratio <= 0) {
+      return Status::InvalidArgument("node type ratio must be positive: " +
+                                     t.name);
+    }
+    type_sum += t.ratio;
+  }
+  if (std::abs(type_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("node type ratios must sum to 1");
+  }
+  double pred_sum = 0;
+  for (const Predicate& p : predicates) pred_sum += p.ratio;
+  if (std::abs(pred_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("predicate ratios must sum to 1");
+  }
+  for (const SchemaEntry& e : schema) {
+    if (NodeTypeIndex(e.source_type) < 0) {
+      return Status::InvalidArgument("unknown source type: " + e.source_type);
+    }
+    if (NodeTypeIndex(e.target_type) < 0) {
+      return Status::InvalidArgument("unknown target type: " + e.target_type);
+    }
+    if (PredicateIndex(e.predicate) < 0) {
+      return Status::InvalidArgument("unknown predicate: " + e.predicate);
+    }
+  }
+  return Status::Ok();
+}
+
+int GraphConfig::NodeTypeIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < node_types.size(); ++i) {
+    if (node_types[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int GraphConfig::PredicateIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    if (predicates[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<GraphConfig::Range> GraphConfig::NodeRanges() const {
+  std::vector<Range> ranges(node_types.size());
+  VertexId offset = 0;
+  for (std::size_t i = 0; i < node_types.size(); ++i) {
+    std::uint64_t count =
+        i + 1 == node_types.size()
+            ? total_nodes - offset
+            : static_cast<std::uint64_t>(
+                  std::llround(node_types[i].ratio *
+                               static_cast<double>(total_nodes)));
+    ranges[i].begin = offset;
+    ranges[i].end = offset + count;
+    offset += count;
+  }
+  return ranges;
+}
+
+std::uint64_t GraphConfig::EdgesForSchema(const SchemaEntry& entry) const {
+  int pred = PredicateIndex(entry.predicate);
+  TG_CHECK(pred >= 0);
+  // When several schema entries share a predicate, they split it evenly.
+  int sharing = 0;
+  for (const SchemaEntry& e : schema) {
+    if (e.predicate == entry.predicate) ++sharing;
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(predicates[pred].ratio * static_cast<double>(total_edges) /
+                   sharing));
+}
+
+std::string GraphConfig::ToString() const {
+  std::ostringstream out;
+  out << "nodes " << total_nodes << "\n";
+  out << "edges " << total_edges << "\n";
+  for (const NodeType& t : node_types) {
+    out << "type " << t.name << " " << t.ratio << "\n";
+  }
+  for (const Predicate& p : predicates) {
+    out << "predicate " << p.name << " " << p.ratio << "\n";
+  }
+  for (const SchemaEntry& e : schema) {
+    out << "schema " << e.source_type << " " << e.predicate << " "
+        << e.target_type << " out=" << FormatDegreeSpec(e.out_degree)
+        << " in=" << FormatDegreeSpec(e.in_degree) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tg::gmark

@@ -1,0 +1,84 @@
+#ifndef TRILLIONG_GMARK_GRAPH_CONFIG_H_
+#define TRILLIONG_GMARK_GRAPH_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "erv/erv_generator.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tg::gmark {
+
+/// gMark-style graph configuration (Section 6.2, Figure 7(a)): node types
+/// with size ratios, edge predicates with edge ratios, and schema entries
+/// binding (source type, predicate, target type) to out-/in-degree
+/// distributions.
+struct NodeType {
+  std::string name;
+  double ratio = 0.0;  ///< fraction of total_nodes
+};
+
+struct Predicate {
+  std::string name;
+  double ratio = 0.0;  ///< fraction of total_edges
+};
+
+struct SchemaEntry {
+  std::string source_type;
+  std::string predicate;
+  std::string target_type;
+  erv::DegreeSpec out_degree;
+  erv::DegreeSpec in_degree;
+};
+
+class GraphConfig {
+ public:
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_edges = 0;
+  std::vector<NodeType> node_types;
+  std::vector<Predicate> predicates;
+  std::vector<SchemaEntry> schema;
+
+  /// The paper's running example (Figure 7): a bibliographical graph with
+  /// researcher/paper/journal/conference nodes and author/publishedIn/heldIn
+  /// predicates; author edges are Zipfian-out / Gaussian-in.
+  static GraphConfig Bibliography(std::uint64_t total_nodes,
+                                  std::uint64_t total_edges);
+
+  /// Parses the line-based text format:
+  ///   nodes <N>
+  ///   edges <M>
+  ///   type <name> <ratio>
+  ///   predicate <name> <ratio>
+  ///   schema <src> <pred> <dst> out=<dist> in=<dist>
+  /// where <dist> is zipfian:<slope>, gaussian, or uniform:<min>:<max>.
+  /// '#' starts a comment.
+  static Status Parse(const std::string& text, GraphConfig* config);
+
+  /// Checks referential integrity and ratio sums.
+  Status Validate() const;
+
+  /// Index of a node type / predicate by name (-1 if absent).
+  int NodeTypeIndex(const std::string& name) const;
+  int PredicateIndex(const std::string& name) const;
+
+  /// Contiguous global vertex range of a node type: types are laid out in
+  /// declaration order; counts are ratio-rounded with the remainder going to
+  /// the last type.
+  struct Range {
+    VertexId begin = 0;
+    VertexId end = 0;
+    std::uint64_t size() const { return end - begin; }
+  };
+  std::vector<Range> NodeRanges() const;
+
+  /// Edge budget of a schema entry (predicate ratio * total_edges).
+  std::uint64_t EdgesForSchema(const SchemaEntry& entry) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace tg::gmark
+
+#endif  // TRILLIONG_GMARK_GRAPH_CONFIG_H_

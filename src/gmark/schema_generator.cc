@@ -1,0 +1,44 @@
+#include "gmark/schema_generator.h"
+
+#include "rng/random.h"
+
+namespace tg::gmark {
+
+RichStats GenerateRichGraph(const GraphConfig& config, std::uint64_t rng_seed,
+                            const RichEdgeSink& sink) {
+  TG_CHECK_MSG(config.Validate().ok(), "invalid graph configuration");
+  const std::vector<GraphConfig::Range> ranges = config.NodeRanges();
+
+  RichStats stats;
+  stats.edges_per_predicate.assign(config.predicates.size(), 0);
+
+  for (std::size_t entry_idx = 0; entry_idx < config.schema.size();
+       ++entry_idx) {
+    const SchemaEntry& entry = config.schema[entry_idx];
+    const GraphConfig::Range& src_range =
+        ranges[config.NodeTypeIndex(entry.source_type)];
+    const GraphConfig::Range& dst_range =
+        ranges[config.NodeTypeIndex(entry.target_type)];
+    const auto predicate =
+        static_cast<std::uint32_t>(config.PredicateIndex(entry.predicate));
+
+    erv::ErvOptions options;
+    options.num_sources = src_range.size();
+    options.num_destinations = dst_range.size();
+    options.num_edges = config.EdgesForSchema(entry);
+    options.out_degree = entry.out_degree;
+    options.in_degree = entry.in_degree;
+    options.rng_seed = rng::MixSeeds(rng_seed, entry_idx);
+
+    erv::ErvStats entry_stats = erv::GenerateErv(
+        options, [&](VertexId local_src, VertexId local_dst) {
+          sink(RichEdge{src_range.begin + local_src,
+                        dst_range.begin + local_dst, predicate});
+        });
+    stats.num_edges += entry_stats.num_edges;
+    stats.edges_per_predicate[predicate] += entry_stats.num_edges;
+  }
+  return stats;
+}
+
+}  // namespace tg::gmark

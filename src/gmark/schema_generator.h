@@ -1,0 +1,42 @@
+#ifndef TRILLIONG_GMARK_SCHEMA_GENERATOR_H_
+#define TRILLIONG_GMARK_SCHEMA_GENERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "gmark/graph_config.h"
+#include "util/common.h"
+
+namespace tg::gmark {
+
+/// A typed edge of a rich graph: global vertex IDs plus the predicate index
+/// into GraphConfig::predicates.
+struct RichEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  std::uint32_t predicate = 0;
+
+  friend bool operator==(const RichEdge&, const RichEdge&) = default;
+  friend auto operator<=>(const RichEdge&, const RichEdge&) = default;
+};
+
+using RichEdgeSink = std::function<void(const RichEdge&)>;
+
+struct RichStats {
+  std::uint64_t num_edges = 0;
+  /// Edges per predicate (indexed like GraphConfig::predicates).
+  std::vector<std::uint64_t> edges_per_predicate;
+};
+
+/// Schema-driven rich graph generation (Section 6.2): conceptually divides
+/// the global probability matrix into the colored rectangles of Figure 7(b)
+/// — one per schema entry — and generates each rectangle with the ERV model
+/// using that entry's out-/in-degree distributions and the node-type vertex
+/// ranges. Duplicate edges within a (source, predicate) scope are
+/// eliminated, which gMark itself cannot do (Section 6.2).
+RichStats GenerateRichGraph(const GraphConfig& config, std::uint64_t rng_seed,
+                            const RichEdgeSink& sink);
+
+}  // namespace tg::gmark
+
+#endif  // TRILLIONG_GMARK_SCHEMA_GENERATOR_H_

@@ -1,0 +1,101 @@
+#ifndef TRILLIONG_MODEL_EDGE_PROBABILITY_H_
+#define TRILLIONG_MODEL_EDGE_PROBABILITY_H_
+
+#include <cmath>
+
+#include "model/seed_matrix.h"
+#include "numeric/bits.h"
+#include "util/common.h"
+
+namespace tg::model {
+
+/// Closed-form Kronecker probability math for a 2x2 seed matrix over a graph
+/// with |V| = 2^scale vertices (Proposition 1 and Lemma 1).
+class EdgeProbability {
+ public:
+  EdgeProbability(const SeedMatrix& seed, int scale)
+      : seed_(seed), scale_(scale) {
+    TG_CHECK(scale >= 1 && scale <= 62);
+  }
+
+  int scale() const { return scale_; }
+  VertexId num_vertices() const { return VertexId{1} << scale_; }
+  const SeedMatrix& seed() const { return seed_; }
+
+  /// K_{u,v} (Proposition 1): probability mass of the cell (u, v), i.e.
+  /// a^Bits(~u&~v) * b^Bits(~u&v) * c^Bits(u&~v) * d^Bits(u&v) over the
+  /// scale-bit ID width.
+  double CellProbability(VertexId u, VertexId v) const {
+    int bits_d = numeric::BitsLow(u & v, scale_);
+    int bits_c = numeric::BitsLow(u, scale_) - bits_d;
+    int bits_b = numeric::BitsLow(v, scale_) - bits_d;
+    int bits_a = scale_ - bits_b - bits_c - bits_d;
+    return std::pow(seed_.a(), bits_a) * std::pow(seed_.b(), bits_b) *
+           std::pow(seed_.c(), bits_c) * std::pow(seed_.d(), bits_d);
+  }
+
+  /// P_{u->} (Lemma 1): probability that one edge trial lands in row u,
+  /// (a+b)^Bits(~u) * (c+d)^Bits(u).
+  double RowProbability(VertexId u) const {
+    int ones = numeric::BitsLow(u, scale_);
+    return std::pow(seed_.RowSum(0), scale_ - ones) *
+           std::pow(seed_.RowSum(1), ones);
+  }
+
+  /// P_{->v} (column marginal, symmetric to Lemma 1):
+  /// (a+c)^Bits(~v) * (b+d)^Bits(v).
+  double ColProbability(VertexId v) const {
+    int ones = numeric::BitsLow(v, scale_);
+    return std::pow(seed_.ColSum(0), scale_ - ones) *
+           std::pow(seed_.ColSum(1), ones);
+  }
+
+  /// Cumulative row marginal: sum over u' < u of P_{u'->}, computed in
+  /// O(scale) from the Kronecker product structure. This is the source-side
+  /// CDF used by the AVS-level range partitioner (Figure 6) to binary-search
+  /// balanced bin boundaries without enumerating vertices.
+  ///
+  /// Derivation: split on the most significant bit b at position k of the
+  /// remaining range; all IDs with that bit 0 contribute
+  /// rowsum(0) ^ 1 * (total mass of a (k)-bit sub-problem) etc. Concretely,
+  /// walking bits of u from MSB to LSB with a running prefix product:
+  /// whenever bit k of u is 1, all 2^k vertices below it (prefix + 0 + free
+  /// low bits) are < u, contributing prefix * RowSum(0) * (a+b+c+d)^k ==
+  /// prefix * RowSum(0) (since row sums total 1 per level).
+  double CumulativeRowProbability(VertexId u) const {
+    TG_CHECK(u <= num_vertices());
+    if (u == num_vertices()) return 1.0;  // total mass of all rows
+    double cum = 0.0;
+    double prefix = 1.0;
+    for (int k = scale_ - 1; k >= 0; --k) {
+      if (((u >> k) & 1u) != 0) {
+        cum += prefix * seed_.RowSum(0);
+        prefix *= seed_.RowSum(1);
+      } else {
+        prefix *= seed_.RowSum(0);
+      }
+    }
+    return cum;
+  }
+
+  /// Expected number of edges out of u when |E| trials are made (Theorem 1
+  /// mean np).
+  double ExpectedOutDegree(VertexId u, std::uint64_t num_edges) const {
+    return static_cast<double>(num_edges) * RowProbability(u);
+  }
+
+  /// Largest row marginal (row 0...0 if a+b >= c+d, else row 1...1); together
+  /// with |E| this bounds E[d_max], the space bound of the AVS approach.
+  double MaxRowProbability() const {
+    double hi = std::max(seed_.RowSum(0), seed_.RowSum(1));
+    return std::pow(hi, scale_);
+  }
+
+ private:
+  SeedMatrix seed_;
+  int scale_;
+};
+
+}  // namespace tg::model
+
+#endif  // TRILLIONG_MODEL_EDGE_PROBABILITY_H_

@@ -1,0 +1,14 @@
+#include "model/seed_matrix.h"
+
+#include <cstdio>
+
+namespace tg::model {
+
+std::string SeedMatrix::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.4g, %.4g; %.4g, %.4g]", a(), b(), c(),
+                d());
+  return buf;
+}
+
+}  // namespace tg::model

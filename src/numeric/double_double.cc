@@ -1,0 +1,13 @@
+#include "numeric/double_double.h"
+
+#include <cstdio>
+
+namespace tg::numeric {
+
+std::string DoubleDouble::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g%+.17g", hi_, lo_);
+  return buf;
+}
+
+}  // namespace tg::numeric

@@ -1,0 +1,100 @@
+#include "query/bfs.h"
+
+#include <algorithm>
+
+namespace tg::query {
+
+BfsResult Bfs(const CsrGraph& graph, VertexId root, const CsrGraph* reverse) {
+  const VertexId n = graph.num_vertices();
+  TG_CHECK(root < n);
+  BfsResult result;
+  result.parent.assign(n, BfsResult::kUnreached);
+  result.parent[root] = root;
+
+  std::vector<VertexId> frontier = {root};
+  std::vector<VertexId> next;
+  result.vertices_visited = 1;
+  int depth = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId u : frontier) {
+      auto expand = [&](std::span<const VertexId> nbrs) {
+        result.edges_traversed += nbrs.size();
+        for (VertexId v : nbrs) {
+          if (result.parent[v] == BfsResult::kUnreached) {
+            result.parent[v] = u;
+            next.push_back(v);
+          }
+        }
+      };
+      expand(graph.OutNeighbors(u));
+      if (reverse != nullptr) expand(reverse->OutNeighbors(u));
+    }
+    if (!next.empty()) ++depth;
+    result.vertices_visited += next.size();
+    std::swap(frontier, next);
+  }
+  result.max_depth = depth;
+  return result;
+}
+
+namespace {
+
+bool HasEdge(const CsrGraph& graph, VertexId u, VertexId v) {
+  auto nbrs = graph.OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v) ||
+         // Adjacency lists from FromEdges may be unsorted; fall back to a
+         // linear scan when binary search misses (cheap for sparse rows).
+         std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+}  // namespace
+
+Status ValidateBfsTree(const CsrGraph& graph, VertexId root,
+                       const BfsResult& result, const CsrGraph* reverse) {
+  const VertexId n = graph.num_vertices();
+  if (result.parent.size() != n) {
+    return Status::InvalidArgument("parent array size mismatch");
+  }
+  if (result.parent[root] != root) {
+    return Status::Corruption("root is not its own parent");
+  }
+
+  // Compute depths by chasing parents, with path lengths bounded by n.
+  std::vector<std::int64_t> depth(n, -1);
+  depth[root] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.parent[v] == BfsResult::kUnreached || depth[v] >= 0) continue;
+    // Walk up until a vertex with known depth (or the root).
+    std::vector<VertexId> chain;
+    VertexId cur = v;
+    while (depth[cur] < 0) {
+      chain.push_back(cur);
+      VertexId p = result.parent[cur];
+      if (p == BfsResult::kUnreached) {
+        return Status::Corruption("reached vertex with unreached ancestor");
+      }
+      if (chain.size() > n) return Status::Corruption("parent cycle");
+      cur = p;
+    }
+    std::int64_t d = depth[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId p = result.parent[v];
+    if (p == BfsResult::kUnreached || v == root) continue;
+    if (p >= n) return Status::Corruption("parent out of range");
+    // Tree edge must exist in the graph (either direction if undirected).
+    bool exists = HasEdge(graph, p, v) || (reverse != nullptr && HasEdge(graph, v, p));
+    if (!exists) return Status::Corruption("tree edge not in graph");
+    if (depth[v] != depth[p] + 1) {
+      return Status::Corruption("inconsistent BFS depths");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tg::query

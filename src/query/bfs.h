@@ -1,0 +1,45 @@
+#ifndef TRILLIONG_QUERY_BFS_H_
+#define TRILLIONG_QUERY_BFS_H_
+
+#include <vector>
+
+#include "query/csr_graph.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tg::query {
+
+/// BFS result in Graph500 style: a parent tree plus traversal statistics.
+struct BfsResult {
+  /// parent[v] == kUnreached for unvisited vertices; parent[root] == root.
+  std::vector<VertexId> parent;
+  std::uint64_t vertices_visited = 0;
+  std::uint64_t edges_traversed = 0;
+  int max_depth = 0;
+
+  static constexpr VertexId kUnreached = ~VertexId{0};
+};
+
+/// Level-synchronous BFS from `root`, following out-edges of `graph` and,
+/// when `reverse` is non-null, in-edges too (Graph500 treats the generated
+/// graph as undirected; pass graph.Transposed() as `reverse` for that).
+BfsResult Bfs(const CsrGraph& graph, VertexId root,
+              const CsrGraph* reverse = nullptr);
+
+/// Graph500-style result validation: the parent array must form a tree
+/// rooted at `root` whose edges exist in the graph (in either direction when
+/// `reverse` is provided) and whose depths are consistent (parent depth ==
+/// child depth - 1).
+Status ValidateBfsTree(const CsrGraph& graph, VertexId root,
+                       const BfsResult& result,
+                       const CsrGraph* reverse = nullptr);
+
+/// Traversed-edges-per-second figure of merit (Graph500's TEPS).
+inline double Teps(const BfsResult& result, double seconds) {
+  return seconds <= 0 ? 0.0
+                      : static_cast<double>(result.edges_traversed) / seconds;
+}
+
+}  // namespace tg::query
+
+#endif  // TRILLIONG_QUERY_BFS_H_

@@ -1,0 +1,68 @@
+#ifndef TRILLIONG_QUERY_COMPONENTS_H_
+#define TRILLIONG_QUERY_COMPONENTS_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace tg::query {
+
+/// Union–find (disjoint sets) with path halving + union by size. Streams
+/// edges, so connected components of a generated graph can be computed
+/// without materializing adjacency (O(|V|) memory regardless of |E|).
+class DisjointSets {
+ public:
+  explicit DisjointSets(VertexId n) : parent_(n), size_(n, 1) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns true if the union merged two distinct components.
+  bool Union(VertexId a, VertexId b) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_components_delta_;
+    return true;
+  }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(parent_.size());
+  }
+
+  /// Number of components (vertices minus successful unions).
+  std::uint64_t NumComponents() {
+    return parent_.size() + num_components_delta_;
+  }
+
+  /// Size of the component containing v.
+  std::uint64_t ComponentSize(VertexId v) { return size_[Find(v)]; }
+
+  /// Size of the largest component.
+  std::uint64_t LargestComponent() {
+    std::uint64_t best = 0;
+    for (VertexId v = 0; v < parent_.size(); ++v) {
+      if (Find(v) == v) best = std::max<std::uint64_t>(best, size_[v]);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint64_t> size_;
+  std::int64_t num_components_delta_ = 0;
+};
+
+}  // namespace tg::query
+
+#endif  // TRILLIONG_QUERY_COMPONENTS_H_

@@ -1,0 +1,116 @@
+#include "query/csr_graph.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "format/adj6.h"
+#include "format/csr6.h"
+
+namespace tg::query {
+
+CsrGraph CsrGraph::FromEdges(VertexId num_vertices,
+                             const std::vector<Edge>& edges) {
+  CsrGraph graph;
+  graph.offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    TG_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    ++graph.offsets_[e.src + 1];
+  }
+  for (std::size_t i = 1; i < graph.offsets_.size(); ++i) {
+    graph.offsets_[i] += graph.offsets_[i - 1];
+  }
+  graph.edges_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(graph.offsets_.begin(),
+                                    graph.offsets_.end() - 1);
+  for (const Edge& e : edges) graph.edges_[cursor[e.src]++] = e.dst;
+  return graph;
+}
+
+Status CsrGraph::FromCsr6Shards(const std::vector<std::string>& paths,
+                                CsrGraph* graph) {
+  struct Shard {
+    format::Csr6Reader reader;
+    explicit Shard(const std::string& path) : reader(path) {}
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (const std::string& path : paths) {
+    auto shard = std::make_unique<Shard>(path);
+    if (!shard->reader.status().ok()) return shard->reader.status();
+    shards.push_back(std::move(shard));
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) {
+              return a->reader.lo() < b->reader.lo();
+            });
+  VertexId expected_lo = 0;
+  std::uint64_t total_edges = 0;
+  for (const auto& shard : shards) {
+    if (shard->reader.lo() != expected_lo) {
+      return Status::InvalidArgument("CSR6 shards do not tile the range");
+    }
+    expected_lo = shard->reader.hi();
+    total_edges += shard->reader.num_edges();
+  }
+  const VertexId num_vertices = expected_lo;
+
+  graph->offsets_.assign(num_vertices + 1, 0);
+  graph->edges_.clear();
+  graph->edges_.reserve(total_edges);
+  for (const auto& shard : shards) {
+    const format::Csr6Reader& r = shard->reader;
+    for (VertexId u = r.lo(); u < r.hi(); ++u) {
+      auto nbrs = r.Neighbors(u);
+      graph->offsets_[u + 1] = graph->offsets_[u] + nbrs.size();
+      graph->edges_.insert(graph->edges_.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  return Status::Ok();
+}
+
+Status CsrGraph::FromAdj6Files(VertexId num_vertices,
+                               const std::vector<std::string>& paths,
+                               CsrGraph* graph) {
+  // Two passes would need re-reading files; instead collect per-vertex
+  // adjacency lengths and payload in one pass, then assemble.
+  std::vector<std::uint32_t> degrees(num_vertices, 0);
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> records;
+  for (const std::string& path : paths) {
+    Status status = format::Adj6Reader::ForEach(
+        path, [&](VertexId u, const std::vector<VertexId>& adj) {
+          TG_CHECK(u < num_vertices);
+          degrees[u] += static_cast<std::uint32_t>(adj.size());
+          records.emplace_back(u, adj);
+        });
+    if (!status.ok()) return status;
+  }
+  graph->offsets_.assign(num_vertices + 1, 0);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    graph->offsets_[u + 1] = graph->offsets_[u] + degrees[u];
+  }
+  graph->edges_.resize(graph->offsets_.back());
+  std::vector<std::uint64_t> cursor(graph->offsets_.begin(),
+                                    graph->offsets_.end() - 1);
+  for (const auto& [u, adj] : records) {
+    for (VertexId v : adj) graph->edges_[cursor[u]++] = v;
+  }
+  return Status::Ok();
+}
+
+CsrGraph CsrGraph::Transposed() const {
+  CsrGraph t;
+  const VertexId n = num_vertices();
+  t.offsets_.assign(n + 1, 0);
+  for (VertexId v : edges_) ++t.offsets_[v + 1];
+  for (std::size_t i = 1; i < t.offsets_.size(); ++i) {
+    t.offsets_[i] += t.offsets_[i - 1];
+  }
+  t.edges_.resize(edges_.size());
+  std::vector<std::uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : OutNeighbors(u)) t.edges_[cursor[v]++] = u;
+  }
+  return t;
+}
+
+}  // namespace tg::query

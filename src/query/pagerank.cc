@@ -1,0 +1,44 @@
+#include "query/pagerank.h"
+
+#include <cmath>
+
+namespace tg::query {
+
+PageRankResult PageRank(const CsrGraph& graph,
+                        const PageRankOptions& options) {
+  const VertexId n = graph.num_vertices();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (graph.OutDegree(u) == 0) dangling_mass += rank[u];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * dangling_mass * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId u = 0; u < n; ++u) {
+      const std::uint64_t degree = graph.OutDegree(u);
+      if (degree == 0) continue;
+      const double share =
+          options.damping * rank[u] / static_cast<double>(degree);
+      for (VertexId v : graph.OutNeighbors(u)) next[v] += share;
+    }
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) break;
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+}  // namespace tg::query

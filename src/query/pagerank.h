@@ -1,0 +1,33 @@
+#ifndef TRILLIONG_QUERY_PAGERANK_H_
+#define TRILLIONG_QUERY_PAGERANK_H_
+
+#include <vector>
+
+#include "query/csr_graph.h"
+#include "util/common.h"
+
+namespace tg::query {
+
+/// Power-iteration PageRank on an in-memory CSR graph — the second standard
+/// "simple query" (after BFS) used to evaluate graph systems on generated
+/// graphs. Dangling vertices (out-degree 0) redistribute their mass
+/// uniformly, the textbook treatment.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  /// Stop when the L1 delta between iterations falls below this.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  ///< sums to 1 (within floating-point error)
+  int iterations = 0;
+  double final_delta = 0.0;
+};
+
+PageRankResult PageRank(const CsrGraph& graph,
+                        const PageRankOptions& options = {});
+
+}  // namespace tg::query
+
+#endif  // TRILLIONG_QUERY_PAGERANK_H_

@@ -1,0 +1,78 @@
+#ifndef TRILLIONG_RNG_ALIAS_TABLE_H_
+#define TRILLIONG_RNG_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/random.h"
+#include "util/common.h"
+
+namespace tg::rng {
+
+/// Walker alias method: O(1) sampling from an arbitrary discrete
+/// distribution after O(n) construction. Substrate for the data-driven
+/// (LDBC-style) degree distributions of the extended gMark generator — the
+/// direction the paper's Section 8 names as future work ("improve TrillionG
+/// to support frequency distributions ... by using data dictionaries").
+class AliasTable {
+ public:
+  /// `weights` need not be normalized; they must be non-negative with a
+  /// positive sum.
+  explicit AliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    TG_CHECK(n > 0);
+    double total = 0;
+    for (double w : weights) {
+      TG_CHECK_MSG(w >= 0, "negative weight");
+      total += w;
+    }
+    TG_CHECK_MSG(total > 0, "weights sum to zero");
+
+    prob_.resize(n);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      std::uint32_t s = small.back();
+      small.pop_back();
+      std::uint32_t l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::uint32_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (std::uint32_t i : small) {  // numerical leftovers
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight. One bounded integer + one uniform double per sample.
+  std::size_t Sample(Rng* rng) const {
+    std::size_t column = rng->NextBounded(prob_.size());
+    return rng->NextDouble() < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace tg::rng
+
+#endif  // TRILLIONG_RNG_ALIAS_TABLE_H_

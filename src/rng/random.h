@@ -1,0 +1,152 @@
+#ifndef TRILLIONG_RNG_RANDOM_H_
+#define TRILLIONG_RNG_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tg::rng {
+
+/// SplitMix64: tiny, fast, full-avalanche 64-bit generator. Used directly for
+/// seeding and hashing, and as the "split" function that derives independent
+/// per-scope streams (every AVS scope gets its own deterministic stream so
+/// that generation is reproducible regardless of thread scheduling).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes two 64-bit values into one (used to derive stream seeds).
+inline std::uint64_t MixSeeds(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 m(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  m.Next();
+  return m.Next();
+}
+
+/// PCG64 (pcg_oneseq_128 variant with XSL-RR output): statistically strong,
+/// 128-bit state, cheap on 64-bit hardware. This is the workhorse generator
+/// for edge generation.
+class Pcg64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Pcg64(std::uint64_t seed, std::uint64_t stream = 0) {
+    SplitMix64 init(MixSeeds(seed, stream));
+    state_ = (static_cast<u128>(init.Next()) << 64) | init.Next();
+    inc_ = ((static_cast<u128>(init.Next()) << 64) | init.Next()) | 1;
+    Next();
+  }
+
+  std::uint64_t Next() {
+    state_ = state_ * kMultiplier + inc_;
+    std::uint64_t xored =
+        static_cast<std::uint64_t>(state_ >> 64) ^ static_cast<std::uint64_t>(state_);
+    int rot = static_cast<int>(state_ >> 122);
+    return (xored >> rot) | (xored << ((-rot) & 63));
+  }
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+ private:
+  using u128 = unsigned __int128;
+  static constexpr u128 kMultiplier =
+      (static_cast<u128>(2549297995355413924ULL) << 64) |
+      4865540595714422341ULL;
+
+  u128 state_ = 0;
+  u128 inc_ = 1;
+};
+
+/// The generator façade used throughout the library: uniform doubles, bounded
+/// integers, and Gaussians, all deterministic given (seed, stream). One `Rng`
+/// per scope/worker; `Fork` derives an independent child stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : gen_(seed, stream), seed_(seed), stream_(stream) {}
+
+  /// Independent child generator for substream `id` (e.g. one per scope).
+  Rng Fork(std::uint64_t id) const {
+    return Rng(MixSeeds(seed_, stream_), id + 1);
+  }
+
+  std::uint64_t NextUint64() { return gen_.Next(); }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    using u128 = unsigned __int128;
+    std::uint64_t x = gen_.Next();
+    u128 m = static_cast<u128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      std::uint64_t threshold = (~bound + 1) % bound;
+      while (low < threshold) {
+        x = gen_.Next();
+        m = static_cast<u128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [0, high).
+  double NextDouble(double high) { return NextDouble() * high; }
+
+  /// Uniform double in [low, high).
+  double NextDouble(double low, double high) {
+    return low + NextDouble() * (high - low);
+  }
+
+  /// Standard normal deviate (Box–Muller with cached spare; platform
+  /// deterministic, unlike std::normal_distribution).
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 0.0);
+    u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  // UniformRandomBitGenerator interface (for std::shuffle etc.).
+  std::uint64_t operator()() { return gen_.Next(); }
+  static constexpr std::uint64_t min() { return Pcg64::min(); }
+  static constexpr std::uint64_t max() { return Pcg64::max(); }
+
+ private:
+  Pcg64 gen_;
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tg::rng
+
+#endif  // TRILLIONG_RNG_RANDOM_H_

@@ -1,0 +1,177 @@
+#ifndef TRILLIONG_STORAGE_FILE_IO_H_
+#define TRILLIONG_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tg::storage {
+
+/// Buffered sequential file writer. Errors are sticky: the first failure is
+/// recorded and reported from Close()/status(); subsequent writes are
+/// dropped. Not thread-safe.
+class FileWriter {
+ public:
+  explicit FileWriter(std::size_t buffer_bytes = 1 << 20)
+      : buffer_bytes_(buffer_bytes) {}
+
+  ~FileWriter() { Close(); }
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  Status Open(const std::string& path) {
+    Close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+      status_ = Status::IoError("cannot open for write: " + path);
+      return status_;
+    }
+    path_ = path;
+    status_ = Status::Ok();
+    buffer_.reserve(buffer_bytes_);
+    bytes_written_ = 0;
+    return status_;
+  }
+
+  bool is_open() const { return file_ != nullptr; }
+  const Status& status() const { return status_; }
+  std::uint64_t bytes_written() const { return bytes_written_ + buffer_.size(); }
+
+  void Append(const void* data, std::size_t n) {
+    if (!status_.ok() || file_ == nullptr) return;
+    const char* p = static_cast<const char*>(data);
+    if (buffer_.size() + n > buffer_bytes_) {
+      Flush();
+      if (n >= buffer_bytes_) {
+        WriteRaw(p, n);
+        return;
+      }
+    }
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  /// Appends a 48-bit little-endian integer (the "6-byte representation"
+  /// required by ADJ6 / CSR6; Section 5).
+  void Append48(std::uint64_t value) {
+    TG_CHECK_MSG(value < (std::uint64_t{1} << 48),
+                 "value does not fit in 6 bytes: " << value);
+    unsigned char bytes[6];
+    for (int i = 0; i < 6; ++i) bytes[i] = (value >> (8 * i)) & 0xFF;
+    Append(bytes, 6);
+  }
+
+  void Append64(std::uint64_t value) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = (value >> (8 * i)) & 0xFF;
+    Append(bytes, 8);
+  }
+
+  Status Close() {
+    if (file_ != nullptr) {
+      Flush();
+      if (std::fclose(file_) != 0 && status_.ok()) {
+        status_ = Status::IoError("close failed: " + path_);
+      }
+      file_ = nullptr;
+    }
+    return status_;
+  }
+
+ private:
+  void Flush() {
+    if (!buffer_.empty()) {
+      WriteRaw(buffer_.data(), buffer_.size());
+      buffer_.clear();
+    }
+  }
+
+  void WriteRaw(const char* p, std::size_t n) {
+    if (!status_.ok()) return;
+    if (std::fwrite(p, 1, n, file_) != n) {
+      status_ = Status::IoError("write failed: " + path_);
+    } else {
+      bytes_written_ += n;
+    }
+  }
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Status status_;
+  std::size_t buffer_bytes_;
+  std::vector<char> buffer_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Buffered sequential file reader.
+class FileReader {
+ public:
+  FileReader() = default;
+  ~FileReader() { Close(); }
+
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  Status Open(const std::string& path) {
+    Close();
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IoError("cannot open for read: " + path);
+    }
+    path_ = path;
+    return Status::Ok();
+  }
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Reads exactly n bytes; returns false on clean EOF at offset 0 of the
+  /// read, aborts (corruption) on a short read mid-record.
+  bool Read(void* out, std::size_t n) {
+    std::size_t got = std::fread(out, 1, n, file_);
+    if (got == 0) return false;
+    TG_CHECK_MSG(got == n, "short read in " << path_);
+    return true;
+  }
+
+  bool Read48(std::uint64_t* out) {
+    unsigned char bytes[6];
+    if (!Read(bytes, 6)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 6; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+    *out = v;
+    return true;
+  }
+
+  bool Read64(std::uint64_t* out) {
+    unsigned char bytes[8];
+    if (!Read(bytes, 8)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+    *out = v;
+    return true;
+  }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Removes a file if it exists (best effort; used for temp cleanup).
+inline void RemoveFile(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace tg::storage
+
+#endif  // TRILLIONG_STORAGE_FILE_IO_H_

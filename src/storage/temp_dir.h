@@ -1,0 +1,53 @@
+#ifndef TRILLIONG_STORAGE_TEMP_DIR_H_
+#define TRILLIONG_STORAGE_TEMP_DIR_H_
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "util/common.h"
+
+namespace tg::storage {
+
+/// RAII temporary directory (for run files, generated graph shards in tests
+/// and benches). Created under the system temp path, removed recursively on
+/// destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "trilliong") {
+    std::random_device rd;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      std::filesystem::path candidate =
+          std::filesystem::temp_directory_path() /
+          (prefix + "." + std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = candidate.string();
+        return;
+      }
+    }
+    TG_CHECK_MSG(false, "cannot create temp directory with prefix " << prefix);
+  }
+
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Path of a file inside the directory.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace tg::storage
+
+#endif  // TRILLIONG_STORAGE_TEMP_DIR_H_

@@ -1,0 +1,65 @@
+#ifndef TRILLIONG_UTIL_COMMON_H_
+#define TRILLIONG_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tg {
+
+/// Vertex identifier. The paper targets up to 2^38 vertices, so 64 bits are
+/// required; the on-disk formats pack IDs into 6 bytes (48 bits).
+using VertexId = std::uint64_t;
+
+/// An edge (source, destination) in a directed graph.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+};
+
+/// Thrown when a simulated per-machine memory budget is exceeded. Benches
+/// catch this to report "O.O.M" rows exactly like the paper's figures.
+class OomError : public std::runtime_error {
+ public:
+  explicit OomError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: check failed: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tg
+
+/// Fatal invariant check, always on (generation correctness depends on it and
+/// the cost is negligible relative to RNG work in hot loops that use it).
+#define TG_CHECK(expr)                                             \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::tg::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                              \
+  } while (0)
+
+#define TG_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream tg_check_stream_;                           \
+      tg_check_stream_ << msg;                                       \
+      ::tg::internal::CheckFailed(__FILE__, __LINE__, #expr,         \
+                                  tg_check_stream_.str());           \
+    }                                                                \
+  } while (0)
+
+#endif  // TRILLIONG_UTIL_COMMON_H_

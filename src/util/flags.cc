@@ -1,0 +1,55 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace tg {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      std::size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        flags_[body] = "true";
+      } else {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& key,
+                                std::int64_t default_value) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? default_value
+                            : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& key,
+                             double default_value) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? default_value
+                            : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& key, bool default_value) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace tg

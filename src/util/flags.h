@@ -1,0 +1,36 @@
+#ifndef TRILLIONG_UTIL_FLAGS_H_
+#define TRILLIONG_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the example
+/// binaries. Unrecognized positional arguments are collected in order.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tg
+
+#endif  // TRILLIONG_UTIL_FLAGS_H_

@@ -1,0 +1,107 @@
+#ifndef TRILLIONG_UTIL_FLAT_SET64_H_
+#define TRILLIONG_UTIL_FLAT_SET64_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace tg {
+
+/// Open-addressing hash set of 64-bit keys, used for duplicate elimination of
+/// destination vertices inside one AVS scope. It is the structure whose peak
+/// size realizes the O(d_max) space bound of the recursive vector model, so it
+/// is deliberately compact: one 8-byte slot per entry at a 50% max load
+/// factor, no per-entry allocation.
+///
+/// The value kEmpty (2^64-1) cannot be stored; vertex IDs are < 2^48 in all
+/// supported formats so this never constrains callers.
+class FlatSet64 {
+ public:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  explicit FlatSet64(std::size_t expected_size = 8) { Reset(expected_size); }
+
+  /// Clears the set and reserves capacity for `expected_size` entries.
+  void Reset(std::size_t expected_size) {
+    std::size_t cap = 16;
+    while (cap < expected_size * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  /// Inserts `key`; returns true if it was newly added.
+  bool Insert(std::uint64_t key) {
+    TG_CHECK(key != kEmpty);
+    if ((size_ + 1) * 2 > slots_.size()) Grow();
+    std::size_t i = Hash(key) & mask_;
+    while (true) {
+      std::uint64_t slot = slots_[i];
+      if (slot == kEmpty) {
+        slots_[i] = key;
+        ++size_;
+        return true;
+      }
+      if (slot == key) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool Contains(std::uint64_t key) const {
+    std::size_t i = Hash(key) & mask_;
+    while (true) {
+      std::uint64_t slot = slots_[i];
+      if (slot == kEmpty) return false;
+      if (slot == key) return true;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Bytes held by the backing array (for peak-memory accounting).
+  std::size_t MemoryBytes() const { return slots_.size() * sizeof(slots_[0]); }
+
+  /// Visits every stored key (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::uint64_t slot : slots_) {
+      if (slot != kEmpty) fn(slot);
+    }
+  }
+
+ private:
+  static std::size_t Hash(std::uint64_t key) {
+    // SplitMix64 finalizer: full-avalanche, cheap.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
+  void Grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (std::uint64_t key : old) {
+      if (key != kEmpty) Insert(key);
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tg
+
+#endif  // TRILLIONG_UTIL_FLAT_SET64_H_

@@ -1,0 +1,97 @@
+#ifndef TRILLIONG_UTIL_MEMORY_BUDGET_H_
+#define TRILLIONG_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/common.h"
+
+namespace tg {
+
+/// Tracks logical memory consumption of the dominant data structures of a
+/// generator (edge sets, shuffle buffers, CSR arrays) and enforces an optional
+/// cap. This is the substitute for the paper's physical 32 GB machines: with
+/// a proportionally scaled-down budget, the "O.O.M" failures of RMAT-mem /
+/// FastKronecker / RMAT/p-mem at particular scales are reproduced
+/// deterministically instead of by crashing a real host.
+///
+/// Thread-safe; one instance models one machine.
+class MemoryBudget {
+ public:
+  /// `limit_bytes` == 0 means unlimited (tracking only).
+  explicit MemoryBudget(std::uint64_t limit_bytes = 0)
+      : limit_bytes_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Registers an allocation; throws OomError if the cap would be exceeded.
+  void Allocate(std::uint64_t bytes) {
+    std::uint64_t now = used_bytes_.fetch_add(bytes) + bytes;
+    if (limit_bytes_ != 0 && now > limit_bytes_) {
+      used_bytes_.fetch_sub(bytes);
+      throw OomError("memory budget exceeded: need " + std::to_string(now) +
+                     " bytes, limit " + std::to_string(limit_bytes_));
+    }
+    // Monotonic peak update.
+    std::uint64_t peak = peak_bytes_.load();
+    while (now > peak && !peak_bytes_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  void Release(std::uint64_t bytes) { used_bytes_.fetch_sub(bytes); }
+
+  /// Replaces a previous registration of `old_bytes` with `new_bytes`
+  /// (e.g. when a hash set grows).
+  void Resize(std::uint64_t old_bytes, std::uint64_t new_bytes) {
+    if (new_bytes >= old_bytes) {
+      Allocate(new_bytes - old_bytes);
+    } else {
+      Release(old_bytes - new_bytes);
+    }
+  }
+
+  std::uint64_t used_bytes() const { return used_bytes_.load(); }
+  std::uint64_t peak_bytes() const { return peak_bytes_.load(); }
+  std::uint64_t limit_bytes() const { return limit_bytes_; }
+
+  void ResetPeak() { peak_bytes_.store(used_bytes_.load()); }
+
+ private:
+  const std::uint64_t limit_bytes_;
+  std::atomic<std::uint64_t> used_bytes_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+};
+
+/// RAII registration of a fixed-size allocation against a budget.
+class ScopedAllocation {
+ public:
+  ScopedAllocation(MemoryBudget* budget, std::uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {
+    if (budget_ != nullptr) budget_->Allocate(bytes_);
+  }
+
+  ~ScopedAllocation() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+  }
+
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+  /// Adjusts the registered size to `new_bytes`.
+  void ResizeTo(std::uint64_t new_bytes) {
+    if (budget_ != nullptr) budget_->Resize(bytes_, new_bytes);
+    bytes_ = new_bytes;
+  }
+
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_;
+  std::uint64_t bytes_;
+};
+
+}  // namespace tg
+
+#endif  // TRILLIONG_UTIL_MEMORY_BUDGET_H_

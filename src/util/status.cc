@@ -1,0 +1,28 @@
+#include "util/status.h"
+
+namespace tg {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      name = "Ok";
+      break;
+    case Code::kIoError:
+      name = "IoError";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+  }
+  if (message_.empty()) return name;
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace tg

@@ -1,0 +1,53 @@
+#ifndef TRILLIONG_UTIL_STATUS_H_
+#define TRILLIONG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tg {
+
+/// Lightweight status type for recoverable errors (chiefly file I/O), in the
+/// style of RocksDB's Status. Programming errors use TG_CHECK instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kIoError,
+    kInvalidArgument,
+    kCorruption,
+    kNotFound,
+  };
+
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-line rendering, e.g. "IoError: open failed".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace tg
+
+#endif  // TRILLIONG_UTIL_STATUS_H_

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "erv/erv_generator.h"
+#include "gmark/graph_config.h"
+
+namespace tg::erv {
+namespace {
+
+using analysis::DegreeHistogram;
+
+ErvStats Collect(const ErvOptions& options,
+                 std::vector<std::uint32_t>* out_degrees,
+                 std::vector<std::uint32_t>* in_degrees) {
+  out_degrees->assign(options.num_sources, 0);
+  in_degrees->assign(options.num_destinations, 0);
+  return GenerateErv(options, [&](VertexId src, VertexId dst) {
+    ++(*out_degrees)[src];
+    ++(*in_degrees)[dst];
+  });
+}
+
+TEST(ErvTest, EdgeCountNearTarget) {
+  ErvOptions options;
+  options.num_sources = 1 << 14;
+  options.num_destinations = 1 << 14;
+  options.num_edges = 1 << 17;
+  std::vector<std::uint32_t> out, in;
+  ErvStats stats = Collect(options, &out, &in);
+  double expected = static_cast<double>(options.num_edges);
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+              0.02 * expected);
+}
+
+TEST(ErvTest, AllIdsWithinRanges) {
+  ErvOptions options;
+  options.num_sources = 1000;  // deliberately not a power of two
+  options.num_destinations = 300;
+  options.num_edges = 20000;
+  std::uint64_t count = 0;
+  GenerateErv(options, [&](VertexId src, VertexId dst) {
+    EXPECT_LT(src, options.num_sources);
+    EXPECT_LT(dst, options.num_destinations);
+    ++count;
+  });
+  EXPECT_GT(count, 0u);
+}
+
+TEST(ErvTest, NoDuplicateEdgesPerSource) {
+  ErvOptions options;
+  options.num_sources = 500;
+  options.num_destinations = 400;
+  options.num_edges = 30000;
+  std::set<std::pair<VertexId, VertexId>> seen;
+  std::uint64_t count = 0;
+  GenerateErv(options, [&](VertexId src, VertexId dst) {
+    EXPECT_TRUE(seen.emplace(src, dst).second)
+        << "duplicate edge " << src << "->" << dst;
+    ++count;
+  });
+  EXPECT_EQ(seen.size(), count);
+}
+
+TEST(ErvTest, ZipfianOutSlopeIsControllable) {
+  // Section 6.1: the ERV model precisely controls the Zipf slope — the
+  // popcount-class slope of the out-degrees equals the configured value.
+  for (double slope : {-1.0, -1.662, -2.2}) {
+    ErvOptions options;
+    options.num_sources = 1 << 15;
+    options.num_destinations = 1 << 15;
+    options.num_edges = 16ULL << 15;
+    options.out_degree = DegreeSpec::Zipfian(slope);
+    options.in_degree = DegreeSpec::Gaussian();
+    std::vector<std::uint32_t> out, in;
+    Collect(options, &out, &in);
+    EXPECT_NEAR(analysis::PopcountClassSlope(out), slope, 0.12)
+        << "slope " << slope;
+  }
+}
+
+TEST(ErvTest, GaussianInDegreeMatchesBinomialMoments) {
+  // Figure 10(b): Gaussian in-degree with mu = |E| / |Vdst|.
+  ErvOptions options;
+  options.num_sources = 1 << 14;
+  options.num_destinations = 1 << 12;
+  options.num_edges = 1 << 17;
+  options.out_degree = DegreeSpec::Zipfian(-1.662);
+  options.in_degree = DegreeSpec::Gaussian();
+  std::vector<std::uint32_t> out, in;
+  ErvStats stats = Collect(options, &out, &in);
+
+  DegreeHistogram h = DegreeHistogram::FromDegrees(in, /*include_zero=*/true);
+  double mu = static_cast<double>(stats.num_edges) /
+              static_cast<double>(options.num_destinations);
+  EXPECT_NEAR(h.MeanDegree(), mu, 0.05 * mu);
+  // Binomial(n, 1/V) stddev ~ sqrt(mu); allow slack for dedup effects.
+  EXPECT_NEAR(h.StddevDegree(), std::sqrt(mu), 0.5 * std::sqrt(mu));
+  // A Gaussian has no power-law head: max in-degree stays within ~6 sigma.
+  EXPECT_LT(static_cast<double>(h.MaxDegree()), mu + 8 * std::sqrt(mu));
+}
+
+TEST(ErvTest, ZipfianInDegreeHasHeavyTail) {
+  ErvOptions options;
+  options.num_sources = 1 << 13;
+  options.num_destinations = 1 << 13;
+  options.num_edges = 1 << 16;
+  options.out_degree = DegreeSpec::Gaussian();
+  options.in_degree = DegreeSpec::Zipfian(-2.0);
+  std::vector<std::uint32_t> out, in;
+  ErvStats stats = Collect(options, &out, &in);
+  DegreeHistogram h = DegreeHistogram::FromDegrees(in);
+  double mu = static_cast<double>(stats.num_edges) /
+              static_cast<double>(options.num_destinations);
+  // Heavy tail: the hub has far more than the mean in-degree, and the
+  // popcount-class slope matches the configured -2.0.
+  EXPECT_GT(static_cast<double>(h.MaxDegree()), 10 * mu);
+  EXPECT_NEAR(analysis::PopcountClassSlope(in), -2.0, 0.2);
+}
+
+TEST(ErvTest, UniformOutDegreesWithinBounds) {
+  ErvOptions options;
+  options.num_sources = 5000;
+  options.num_destinations = 5000;
+  options.out_degree = DegreeSpec::Uniform(2, 7);
+  options.in_degree = DegreeSpec::Gaussian();
+  std::vector<std::uint32_t> out, in;
+  Collect(options, &out, &in);
+  std::uint64_t total = 0;
+  for (std::uint32_t d : out) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 7u);
+    total += d;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 5000, 4.5, 0.1);
+}
+
+TEST(ErvTest, UniformDegreeOneFanout) {
+  // The bibliography schema uses uniform:1:1 for paper->journal: every
+  // source gets exactly one edge.
+  ErvOptions options;
+  options.num_sources = 3000;
+  options.num_destinations = 100;
+  options.out_degree = DegreeSpec::Uniform(1, 1);
+  options.in_degree = DegreeSpec::Zipfian(-2.0);
+  std::vector<std::uint32_t> out, in;
+  ErvStats stats = Collect(options, &out, &in);
+  EXPECT_EQ(stats.num_edges, 3000u);
+  for (std::uint32_t d : out) EXPECT_EQ(d, 1u);
+}
+
+TEST(ErvTest, DeterministicGivenSeed) {
+  ErvOptions options;
+  options.num_sources = 1000;
+  options.num_destinations = 1000;
+  options.num_edges = 10000;
+  std::vector<std::pair<VertexId, VertexId>> run1, run2;
+  GenerateErv(options, [&](VertexId s, VertexId d) { run1.emplace_back(s, d); });
+  GenerateErv(options, [&](VertexId s, VertexId d) { run2.emplace_back(s, d); });
+  EXPECT_EQ(run1, run2);
+  options.rng_seed = 91;
+  std::vector<std::pair<VertexId, VertexId>> run3;
+  GenerateErv(options, [&](VertexId s, VertexId d) { run3.emplace_back(s, d); });
+  EXPECT_NE(run1, run3);
+}
+
+TEST(ErvTest, SeedForSpecMapsPerTable3) {
+  model::SeedMatrix zipf = SeedForSpec(DegreeSpec::Zipfian(-1.5));
+  EXPECT_NEAR(zipf.TheoreticalOutSlope(), -1.5, 1e-9);
+  model::SeedMatrix gauss = SeedForSpec(DegreeSpec::Gaussian());
+  EXPECT_EQ(gauss, model::SeedMatrix::ErdosRenyi());
+}
+
+TEST(ErvTest, EmpiricalOutDegreesFollowFrequencyTable) {
+  // Data-driven extension: degrees drawn from an explicit frequency table.
+  ErvOptions options;
+  options.num_sources = 30000;
+  options.num_destinations = 1 << 14;
+  options.out_degree = DegreeSpec::Empirical({{1, 60}, {4, 30}, {50, 10}});
+  options.in_degree = DegreeSpec::Gaussian();
+  std::vector<std::uint32_t> out, in;
+  Collect(options, &out, &in);
+
+  std::map<std::uint32_t, int> histogram;
+  for (std::uint32_t d : out) ++histogram[d];
+  // Only the three configured degrees occur.
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_NEAR(histogram[1], 18000, 500);   // 60%
+  EXPECT_NEAR(histogram[4], 9000, 450);    // 30%
+  EXPECT_NEAR(histogram[50], 3000, 300);   // 10%
+}
+
+TEST(ErvTest, EmpiricalRoundTripsThroughGmarkConfigText) {
+  gmark::GraphConfig config;
+  const char* text = R"(
+nodes 1000
+edges 5000
+type a 0.5
+type b 0.5
+predicate p 1.0
+schema a p b out=empirical:2*70,9*30 in=gaussian
+)";
+  ASSERT_TRUE(gmark::GraphConfig::Parse(text, &config).ok());
+  ASSERT_EQ(config.schema.size(), 1u);
+  const DegreeSpec& spec = config.schema[0].out_degree;
+  EXPECT_EQ(spec.kind, DegreeSpec::Kind::kEmpirical);
+  ASSERT_NE(spec.empirical, nullptr);
+  ASSERT_EQ(spec.empirical->size(), 2u);
+  EXPECT_EQ((*spec.empirical)[0], (std::pair<std::uint64_t, std::uint64_t>{2, 70}));
+  EXPECT_EQ((*spec.empirical)[1], (std::pair<std::uint64_t, std::uint64_t>{9, 30}));
+  // And the text form round-trips.
+  gmark::GraphConfig reparsed;
+  ASSERT_TRUE(gmark::GraphConfig::Parse(config.ToString(), &reparsed).ok());
+  EXPECT_EQ(reparsed.schema[0].out_degree.kind,
+            DegreeSpec::Kind::kEmpirical);
+}
+
+TEST(ErvTest, SmallDestinationRangeDoesNotOverflow) {
+  ErvOptions options;
+  options.num_sources = 100;
+  options.num_destinations = 1;
+  options.out_degree = DegreeSpec::Uniform(1, 5);
+  options.in_degree = DegreeSpec::Gaussian();
+  std::vector<std::uint32_t> out, in;
+  ErvStats stats = Collect(options, &out, &in);
+  // Only one destination exists; dedup caps every scope at one edge.
+  EXPECT_EQ(stats.num_edges, 100u);
+  EXPECT_EQ(in[0], 100u);
+}
+
+}  // namespace
+}  // namespace tg::erv

@@ -1,0 +1,163 @@
+// Failure-injection and error-path coverage: corrupt files, unwritable
+// targets, invalid configurations. Production libraries are judged by how
+// they fail, not just how they succeed.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trilliong.h"
+#include "format/adj6.h"
+#include "format/convert.h"
+#include "format/csr6.h"
+#include "format/tsv.h"
+#include "gmark/graph_config.h"
+#include "storage/file_io.h"
+#include "storage/temp_dir.h"
+
+namespace tg {
+namespace {
+
+TEST(FailureTest, WritersReportUnwritablePaths) {
+  format::TsvWriter tsv("/nonexistent_dir_xyz/out.tsv");
+  tsv.WriteEdge(1, 2);
+  tsv.Finish();
+  EXPECT_FALSE(tsv.status().ok());
+
+  format::Adj6Writer adj6("/nonexistent_dir_xyz/out.adj6");
+  VertexId v = 1;
+  adj6.ConsumeScope(0, &v, 1);
+  adj6.Finish();
+  EXPECT_FALSE(adj6.status().ok());
+
+  format::Csr6Writer csr6("/nonexistent_dir_xyz/out.csr6", 0, 8);
+  csr6.Finish();
+  EXPECT_FALSE(csr6.status().ok());
+}
+
+TEST(FailureTest, TruncatedAdj6HeaderDies) {
+  storage::TempDir dir;
+  std::string path = dir.File("trunc.adj6");
+  {
+    storage::FileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    w.Append48(5);  // vertex id but no degree
+    ASSERT_TRUE(w.Close().ok());
+  }
+  format::Adj6Reader reader(path);
+  VertexId u;
+  std::vector<VertexId> adj;
+  EXPECT_DEATH(reader.Next(&u, &adj), "truncated ADJ6");
+}
+
+TEST(FailureTest, TruncatedAdj6AdjacencyDies) {
+  storage::TempDir dir;
+  std::string path = dir.File("trunc2.adj6");
+  {
+    storage::FileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    w.Append48(5);   // vertex
+    w.Append48(3);   // claims 3 neighbors
+    w.Append48(7);   // provides only 1
+    ASSERT_TRUE(w.Close().ok());
+  }
+  format::Adj6Reader reader(path);
+  VertexId u;
+  std::vector<VertexId> adj;
+  EXPECT_DEATH(reader.Next(&u, &adj), "truncated ADJ6 adjacency");
+}
+
+TEST(FailureTest, TruncatedCsr6OffsetsRejected) {
+  storage::TempDir dir;
+  std::string path = dir.File("trunc.csr6");
+  {
+    storage::FileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    w.Append("TGCSR6\0\0", 8);
+    w.Append64(1);   // version
+    w.Append64(0);   // lo
+    w.Append64(16);  // hi
+    w.Append64(0);   // num_edges — but offsets are missing entirely
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_DEATH(format::Csr6Reader reader(path), "truncated CSR6 offsets");
+}
+
+TEST(FailureTest, Csr6OffsetEdgeCountMismatchRejected) {
+  storage::TempDir dir;
+  std::string path = dir.File("mismatch.csr6");
+  {
+    storage::FileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    w.Append("TGCSR6\0\0", 8);
+    w.Append64(1);  // version
+    w.Append64(0);  // lo
+    w.Append64(1);  // hi (one vertex, two offsets)
+    w.Append64(5);  // claims 5 edges
+    w.Append64(0);  // offsets[0]
+    w.Append64(2);  // offsets[1] == 2 != 5
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_DEATH(format::Csr6Reader reader(path), "mismatch");
+}
+
+TEST(FailureTest, Append48RejectsOversizedIds) {
+  storage::TempDir dir;
+  storage::FileWriter w;
+  ASSERT_TRUE(w.Open(dir.File("x.bin")).ok());
+  EXPECT_DEATH(w.Append48(std::uint64_t{1} << 48), "does not fit in 6 bytes");
+}
+
+TEST(FailureTest, ConvertReportsMissingInput) {
+  storage::TempDir dir;
+  EXPECT_FALSE(
+      format::TsvToAdj6("/no/such/file.tsv", dir.File("o.adj6")).ok());
+  EXPECT_FALSE(
+      format::Adj6ToTsv("/no/such/file.adj6", dir.File("o.tsv")).ok());
+  EXPECT_FALSE(format::MergeCsr6Shards({"/no/such/shard.csr6"},
+                                       dir.File("o.csr6"))
+                   .ok());
+}
+
+TEST(FailureTest, GenerateToSinkRequiresSingleWorker) {
+  core::TrillionGConfig config;
+  config.num_workers = 2;
+  core::CountingSink sink;
+  EXPECT_DEATH(core::GenerateToSink(config, &sink), "num_workers == 1");
+}
+
+TEST(FailureTest, OomDuringMultiWorkerGenerationStopsCleanly) {
+  // The OOM must propagate out of worker threads as an exception, not crash.
+  core::TrillionGConfig config;
+  config.scale = 12;
+  config.edge_factor = 16;
+  config.num_workers = 3;
+  MemoryBudget tiny(64);
+  config.budget = &tiny;
+  EXPECT_THROW(core::Generate(config,
+                              [](int, VertexId, VertexId) {
+                                return std::make_unique<core::CountingSink>();
+                              }),
+               OomError);
+}
+
+TEST(FailureTest, GmarkValidateCatchesEveryReferenceError) {
+  gmark::GraphConfig config = gmark::GraphConfig::Bibliography(1000, 5000);
+  config.schema[0].source_type = "nonexistent";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = gmark::GraphConfig::Bibliography(1000, 5000);
+  config.schema[0].predicate = "nonexistent";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = gmark::GraphConfig::Bibliography(1000, 5000);
+  config.total_nodes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = gmark::GraphConfig::Bibliography(1000, 5000);
+  config.node_types[0].ratio = 0.9;  // ratios no longer sum to 1
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace tg

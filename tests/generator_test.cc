@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/avs_generator.h"
+#include "core/trilliong.h"
+#include "model/edge_probability.h"
+
+namespace tg::core {
+namespace {
+
+using model::EdgeProbability;
+using model::NoiseVector;
+using model::SeedMatrix;
+
+/// Collects scopes in memory for inspection.
+class VectorSink : public ScopeSink {
+ public:
+  void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override {
+    auto& dsts = scopes_[u];
+    dsts.assign(adj, adj + n);
+    num_edges_ += n;
+  }
+
+  const std::map<VertexId, std::vector<VertexId>>& scopes() const {
+    return scopes_;
+  }
+  std::uint64_t num_edges() const { return num_edges_; }
+
+ private:
+  std::map<VertexId, std::vector<VertexId>> scopes_;
+  std::uint64_t num_edges_ = 0;
+};
+
+TrillionGConfig SmallConfig(int scale = 10) {
+  TrillionGConfig config;
+  config.scale = scale;
+  config.edge_factor = 8;
+  config.rng_seed = 4242;
+  return config;
+}
+
+TEST(AvsGeneratorTest, TotalEdgesCloseToTarget) {
+  TrillionGConfig config = SmallConfig(12);
+  VectorSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  double expected = static_cast<double>(config.NumEdges());
+  // Theorem 1: total is stochastic, stddev is O(sqrt(|E|)).
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+              5 * std::sqrt(expected));
+  EXPECT_EQ(stats.num_edges, sink.num_edges());
+}
+
+TEST(AvsGeneratorTest, NoDuplicateEdgesWithinScope) {
+  TrillionGConfig config = SmallConfig(10);
+  VectorSink sink;
+  GenerateToSink(config, &sink);
+  for (const auto& [u, dsts] : sink.scopes()) {
+    std::set<VertexId> unique(dsts.begin(), dsts.end());
+    EXPECT_EQ(unique.size(), dsts.size()) << "scope " << u;
+  }
+}
+
+TEST(AvsGeneratorTest, AllDestinationsInRange) {
+  TrillionGConfig config = SmallConfig(10);
+  VectorSink sink;
+  GenerateToSink(config, &sink);
+  const VertexId n = config.NumVertices();
+  for (const auto& [u, dsts] : sink.scopes()) {
+    EXPECT_LT(u, n);
+    for (VertexId v : dsts) EXPECT_LT(v, n);
+  }
+}
+
+TEST(AvsGeneratorTest, DeterministicGivenSeed) {
+  TrillionGConfig config = SmallConfig(10);
+  VectorSink sink1, sink2;
+  GenerateToSink(config, &sink1);
+  GenerateToSink(config, &sink2);
+  EXPECT_EQ(sink1.scopes(), sink2.scopes());
+}
+
+TEST(AvsGeneratorTest, DifferentSeedsProduceDifferentGraphs) {
+  TrillionGConfig config = SmallConfig(10);
+  VectorSink sink1, sink2;
+  GenerateToSink(config, &sink1);
+  config.rng_seed = 777;
+  GenerateToSink(config, &sink2);
+  EXPECT_NE(sink1.scopes(), sink2.scopes());
+}
+
+TEST(AvsGeneratorTest, WorkerCountDoesNotChangeOutput) {
+  // Per-scope RNG forking must make the graph identical for any worker
+  // count: compare a 1-worker run against a 4-worker run, merging shards.
+  TrillionGConfig config = SmallConfig(11);
+
+  config.num_workers = 1;
+  VectorSink single;
+  GenerateToSink(config, &single);
+  const std::map<VertexId, std::vector<VertexId>>& reference = single.scopes();
+  const std::uint64_t reference_edges = single.num_edges();
+
+  config.num_workers = 4;
+  std::vector<std::shared_ptr<VectorSink>> shard_sinks(4);
+  class Shard : public ScopeSink {
+   public:
+    explicit Shard(VectorSink* inner) : inner_(inner) {}
+    void ConsumeScope(VertexId u, const VertexId* adj,
+                      std::size_t n) override {
+      inner_->ConsumeScope(u, adj, n);
+    }
+
+   private:
+    VectorSink* inner_;
+  };
+  Generate(config, [&](int w, VertexId, VertexId) -> std::unique_ptr<ScopeSink> {
+    shard_sinks[w] = std::make_shared<VectorSink>();
+    return std::make_unique<Shard>(shard_sinks[w].get());
+  });
+
+  std::map<VertexId, std::vector<VertexId>> merged;
+  std::uint64_t merged_edges = 0;
+  for (const auto& sink : shard_sinks) {
+    for (const auto& [u, dsts] : sink->scopes()) {
+      EXPECT_EQ(merged.count(u), 0u) << "scope split across workers";
+      merged[u] = dsts;
+    }
+    merged_edges += sink->num_edges();
+  }
+  EXPECT_EQ(merged, reference);
+  EXPECT_EQ(merged_edges, reference_edges);
+}
+
+TEST(AvsGeneratorTest, ScopesArriveInIncreasingOrder) {
+  TrillionGConfig config = SmallConfig(10);
+  class OrderSink : public ScopeSink {
+   public:
+    void ConsumeScope(VertexId u, const VertexId*, std::size_t) override {
+      EXPECT_TRUE(last_ == ~VertexId{0} || u > last_);
+      last_ = u;
+    }
+    VertexId last_ = ~VertexId{0};
+  };
+  OrderSink sink;
+  GenerateToSink(config, &sink);
+}
+
+TEST(AvsGeneratorTest, OutDegreeMeanMatchesTheorem1) {
+  // Empirical mean degree of a specific vertex over many runs ~ |E| * P_u->.
+  // Scale/edge count chosen so the expected degree (~66) is well below |V|,
+  // keeping dedup clipping negligible.
+  const int scale = 10;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  const std::uint64_t num_edges = 1024;
+  DeterminerOptions opts;
+  AvsRangeGenerator<double> gen(&noise, num_edges, opts);
+
+  VertexId u = 0;  // densest row
+  double expected = num_edges * prob.RowProbability(u);
+  double total = 0;
+  const int runs = 300;
+  for (int r = 0; r < runs; ++r) {
+    rng::Rng root(9000 + r);
+    CountingSink sink;
+    RecVec<double> rv;
+    FlatSet64 dedup;
+    std::vector<VertexId> adj;
+    AvsWorkerStats stats;
+    gen.GenerateScope(u, root, &rv, &dedup, &adj, &stats, &sink);
+    total += static_cast<double>(stats.num_edges);
+  }
+  double mean = total / runs;
+  // Dedup clips a little mass; allow 5% + sampling noise.
+  EXPECT_NEAR(mean, expected, 0.05 * expected + 3.0);
+}
+
+TEST(AvsGeneratorTest, InDegreeDistributionMatchesColumnMarginals) {
+  // Aggregate in-degree mass of mid-tail destination bands must match the
+  // column marginals E[indeg(v)] = |E| * P_->v. Head vertices are excluded:
+  // per-scope dedup legitimately clips columns whose per-cell expected
+  // multiplicity exceeds 1 (the paper's epsilon ~ 0.01 duplicate rate is an
+  // aggregate, not a head-cell statement).
+  TrillionGConfig config = SmallConfig(12);
+  config.edge_factor = 1;
+  VectorSink sink;
+  GenerateToSink(config, &sink);
+
+  std::vector<double> indeg(config.NumVertices(), 0.0);
+  for (const auto& [u, dsts] : sink.scopes()) {
+    (void)u;
+    for (VertexId v : dsts) indeg[v] += 1;
+  }
+  EdgeProbability prob(config.seed, config.scale);
+  // Band = all destinations with popcount 3 (mid-tail: per-cell multiplicity
+  // far below 1, so dedup is negligible).
+  double observed = 0.0, expected = 0.0;
+  for (VertexId v = 0; v < config.NumVertices(); ++v) {
+    if (std::popcount(v) == 3) {
+      observed += indeg[v];
+      expected += config.NumEdges() * prob.ColProbability(v);
+    }
+  }
+  EXPECT_NEAR(observed, expected, 0.05 * expected + 5 * std::sqrt(expected));
+}
+
+TEST(AvsGeneratorTest, PeakScopeBytesIsSmall) {
+  TrillionGConfig config = SmallConfig(14);
+  config.edge_factor = 8;
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  // O(d_max): the working set is bounded by the dedup set (<= 32 bytes per
+  // entry at worst-case load) plus the adjacency buffer (8 bytes per entry).
+  EXPECT_GT(stats.max_degree, 0u);
+  EXPECT_LT(stats.peak_scope_bytes, 40 * stats.max_degree + 4096);
+  // And it is far below the O(|E|) footprint a WES generator would need.
+  EXPECT_LT(stats.peak_scope_bytes,
+            config.NumEdges() * sizeof(VertexId) / 8);
+}
+
+TEST(AvsGeneratorTest, MemoryBudgetOomPropagates) {
+  TrillionGConfig config = SmallConfig(12);
+  MemoryBudget tiny_budget(64);  // far below any scope working set
+  config.budget = &tiny_budget;
+  CountingSink sink;
+  EXPECT_THROW(GenerateToSink(config, &sink), OomError);
+}
+
+TEST(AvsGeneratorTest, MemoryBudgetGenerousSucceeds) {
+  TrillionGConfig config = SmallConfig(12);
+  MemoryBudget budget(64 << 20);
+  config.budget = &budget;
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  EXPECT_GT(stats.num_edges, 0u);
+  EXPECT_GT(budget.peak_bytes(), 0u);
+  EXPECT_EQ(budget.used_bytes(), 0u);  // all scope allocations released
+}
+
+TEST(AvsGeneratorTest, NoiseChangesGraphButKeepsSize) {
+  TrillionGConfig config = SmallConfig(12);
+  VectorSink plain;
+  GenerateToSink(config, &plain);
+  config.noise = 0.1;
+  VectorSink noisy;
+  GenerateToSink(config, &noisy);
+  EXPECT_NE(plain.scopes(), noisy.scopes());
+  double expected = static_cast<double>(config.NumEdges());
+  EXPECT_NEAR(static_cast<double>(noisy.num_edges()), expected,
+              0.02 * expected + 5 * std::sqrt(expected));
+}
+
+TEST(AvsGeneratorTest, DirectionInSwapsDegreesStatistically) {
+  // AVS-I with an asymmetric seed: scopes are destinations, so the "scope
+  // degree" distribution should match the seed's *column* marginals.
+  TrillionGConfig config = SmallConfig(10);
+  config.seed = SeedMatrix(0.6, 0.25, 0.1, 0.05);  // strongly asymmetric
+  config.direction = Direction::kIn;
+  VectorSink sink;
+  GenerateToSink(config, &sink);
+  EdgeProbability prob(config.seed, config.scale);
+  // Scope 0 should have ~|E| * P_->0 neighbors (column marginal).
+  auto it = sink.scopes().find(0);
+  ASSERT_NE(it, sink.scopes().end());
+  double expected = config.NumEdges() * prob.ColProbability(0);
+  EXPECT_NEAR(static_cast<double>(it->second.size()), expected,
+              0.3 * expected);
+}
+
+TEST(AvsGeneratorTest, DoubleDoublePrecisionProducesValidGraph) {
+  TrillionGConfig config = SmallConfig(10);
+  config.precision = Precision::kDoubleDouble;
+  VectorSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  double expected = static_cast<double>(config.NumEdges());
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+              5 * std::sqrt(expected));
+  for (const auto& [u, dsts] : sink.scopes()) {
+    (void)u;
+    for (VertexId v : dsts) EXPECT_LT(v, config.NumVertices());
+  }
+}
+
+TEST(AvsGeneratorTest, AblationVariantsProduceSameEdgeCountScale) {
+  // All 8 idea combinations must produce statistically identical graphs.
+  TrillionGConfig config = SmallConfig(10);
+  double expected = static_cast<double>(config.NumEdges());
+  for (bool idea1 : {false, true}) {
+    for (bool idea2 : {false, true}) {
+      for (bool idea3 : {false, true}) {
+        config.determiner = {idea1, idea2, idea3};
+        CountingSink sink;
+        GenerateStats stats = GenerateToSink(config, &sink);
+        EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+                    5 * std::sqrt(expected))
+            << idea1 << idea2 << idea3;
+      }
+    }
+  }
+}
+
+TEST(AvsGeneratorTest, RecVecBuildCountReflectsIdea1) {
+  TrillionGConfig config = SmallConfig(10);
+  CountingSink sink1;
+  config.determiner.reuse_rec_vec = true;
+  GenerateStats cached = GenerateToSink(config, &sink1);
+  // With reuse: one build per scope (plus none per edge).
+  EXPECT_LE(cached.rec_vec_builds, config.NumVertices());
+
+  config.determiner.reuse_rec_vec = false;
+  CountingSink sink2;
+  GenerateStats uncached = GenerateToSink(config, &sink2);
+  // Without reuse: at least one build per edge attempt.
+  EXPECT_GT(uncached.rec_vec_builds, uncached.num_edges);
+  EXPECT_GT(uncached.rec_vec_builds, cached.rec_vec_builds * 4);
+}
+
+TEST(AvsGeneratorTest, SelfLoopExclusion) {
+  TrillionGConfig config = SmallConfig(10);
+  config.edge_factor = 16;
+
+  VectorSink with_loops;
+  GenerateToSink(config, &with_loops);
+  std::uint64_t loops = 0;
+  for (const auto& [u, dsts] : with_loops.scopes()) {
+    for (VertexId v : dsts) {
+      if (v == u) ++loops;
+    }
+  }
+  // Graph500-parameter graphs produce plenty of self loops by default (the
+  // diagonal is heavy under [a; d] skew).
+  EXPECT_GT(loops, 0u);
+
+  config.exclude_self_loops = true;
+  VectorSink without;
+  GenerateStats stats = GenerateToSink(config, &without);
+  for (const auto& [u, dsts] : without.scopes()) {
+    for (VertexId v : dsts) EXPECT_NE(v, u);
+  }
+  // Mass is preserved: excluded loops are re-drawn, not dropped.
+  double expected = static_cast<double>(config.NumEdges());
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+              0.03 * expected + 6 * std::sqrt(expected));
+}
+
+TEST(AvsGeneratorTest, ZeroDegreeScopesAreSkipped) {
+  TrillionGConfig config = SmallConfig(12);
+  config.edge_factor = 1;  // sparse: most scopes empty at tail
+  VectorSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  EXPECT_LT(stats.num_scopes, config.NumVertices());
+  for (const auto& [u, dsts] : sink.scopes()) {
+    (void)u;
+    EXPECT_FALSE(dsts.empty());
+  }
+}
+
+}  // namespace
+}  // namespace tg::core

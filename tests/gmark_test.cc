@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "gmark/graph_config.h"
+#include "gmark/schema_generator.h"
+
+namespace tg::gmark {
+namespace {
+
+TEST(GraphConfigTest, BibliographyIsValid) {
+  GraphConfig config = GraphConfig::Bibliography(100000, 1000000);
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.node_types.size(), 4u);
+  EXPECT_EQ(config.predicates.size(), 3u);
+  EXPECT_EQ(config.schema.size(), 3u);
+}
+
+TEST(GraphConfigTest, NodeRangesPartitionTheIdSpace) {
+  GraphConfig config = GraphConfig::Bibliography(100000, 1000000);
+  auto ranges = config.NodeRanges();
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].size(), 50000u);  // researcher 50%
+  EXPECT_EQ(ranges[1].size(), 30000u);  // paper 30%
+  EXPECT_EQ(ranges[2].size(), 10000u);  // journal 10%
+  EXPECT_EQ(ranges[3].size(), 10000u);  // conference 10%
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+  EXPECT_EQ(ranges.back().end, 100000u);
+}
+
+TEST(GraphConfigTest, EdgesForSchemaFollowsPredicateRatios) {
+  GraphConfig config = GraphConfig::Bibliography(100000, 1000000);
+  EXPECT_EQ(config.EdgesForSchema(config.schema[0]), 500000u);  // author 50%
+  EXPECT_EQ(config.EdgesForSchema(config.schema[1]), 300000u);
+  EXPECT_EQ(config.EdgesForSchema(config.schema[2]), 200000u);
+}
+
+TEST(GraphConfigTest, ParseRoundTrip) {
+  GraphConfig original = GraphConfig::Bibliography(50000, 400000);
+  GraphConfig parsed;
+  ASSERT_TRUE(GraphConfig::Parse(original.ToString(), &parsed).ok());
+  EXPECT_EQ(parsed.total_nodes, original.total_nodes);
+  EXPECT_EQ(parsed.total_edges, original.total_edges);
+  ASSERT_EQ(parsed.node_types.size(), original.node_types.size());
+  ASSERT_EQ(parsed.schema.size(), original.schema.size());
+  EXPECT_EQ(parsed.schema[0].out_degree.kind,
+            erv::DegreeSpec::Kind::kZipfian);
+  EXPECT_NEAR(parsed.schema[0].out_degree.zipf_slope, -1.662, 1e-9);
+  EXPECT_EQ(parsed.schema[1].out_degree.kind,
+            erv::DegreeSpec::Kind::kUniform);
+}
+
+TEST(GraphConfigTest, ParseHandlesCommentsAndBlankLines) {
+  const char* text = R"(
+# a bibliography-like config
+nodes 1000
+edges 5000
+
+type a 0.6   # sixty percent
+type b 0.4
+predicate p 1.0
+schema a p b out=gaussian in=gaussian
+)";
+  GraphConfig config;
+  ASSERT_TRUE(GraphConfig::Parse(text, &config).ok());
+  EXPECT_EQ(config.total_nodes, 1000u);
+  EXPECT_EQ(config.node_types.size(), 2u);
+}
+
+TEST(GraphConfigTest, ParseRejectsBadInput) {
+  GraphConfig config;
+  EXPECT_FALSE(GraphConfig::Parse("bogus keyword", &config).ok());
+  EXPECT_FALSE(GraphConfig::Parse("nodes", &config).ok());
+  EXPECT_FALSE(GraphConfig::Parse(
+                   "nodes 10\nedges 10\ntype a 1.0\npredicate p 1.0\n"
+                   "schema a p b out=gaussian in=gaussian",
+                   &config)
+                   .ok());  // unknown type b
+  EXPECT_FALSE(GraphConfig::Parse(
+                   "nodes 10\nedges 10\ntype a 0.5\ntype b 0.4\n"
+                   "predicate p 1.0\n",
+                   &config)
+                   .ok());  // ratios sum to 0.9
+  EXPECT_FALSE(GraphConfig::Parse(
+                   "nodes 10\nedges 10\ntype a 1.0\npredicate p 1.0\n"
+                   "schema a p a out=zipfian:1.5 in=gaussian",
+                   &config)
+                   .ok());  // positive zipf slope
+}
+
+TEST(SchemaGeneratorTest, EdgeBudgetSplitAcrossPredicates) {
+  GraphConfig config = GraphConfig::Bibliography(20000, 100000);
+  RichStats stats = GenerateRichGraph(config, 42, [](const RichEdge&) {});
+  ASSERT_EQ(stats.edges_per_predicate.size(), 3u);
+  // author ~ 50% (stochastic), publishedIn = #papers (uniform 1:1 capped by
+  // type size), heldIn = #papers.
+  EXPECT_NEAR(static_cast<double>(stats.edges_per_predicate[0]), 50000.0,
+              50000.0 * 0.05);
+  EXPECT_EQ(stats.edges_per_predicate[1], 6000u);  // 30% of 20k nodes
+  EXPECT_EQ(stats.edges_per_predicate[2], 6000u);
+}
+
+TEST(SchemaGeneratorTest, EdgesRespectTypeRanges) {
+  GraphConfig config = GraphConfig::Bibliography(10000, 50000);
+  auto ranges = config.NodeRanges();
+  GenerateRichGraph(config, 42, [&](const RichEdge& e) {
+    const SchemaEntry* entry = nullptr;
+    for (const SchemaEntry& s : config.schema) {
+      if (config.PredicateIndex(s.predicate) ==
+          static_cast<int>(e.predicate)) {
+        entry = &s;
+      }
+    }
+    ASSERT_NE(entry, nullptr);
+    const auto& src_range = ranges[config.NodeTypeIndex(entry->source_type)];
+    const auto& dst_range = ranges[config.NodeTypeIndex(entry->target_type)];
+    EXPECT_GE(e.src, src_range.begin);
+    EXPECT_LT(e.src, src_range.end);
+    EXPECT_GE(e.dst, dst_range.begin);
+    EXPECT_LT(e.dst, dst_range.end);
+  });
+}
+
+TEST(SchemaGeneratorTest, NoDuplicateTypedEdges) {
+  GraphConfig config = GraphConfig::Bibliography(5000, 25000);
+  std::set<RichEdge> seen;
+  std::uint64_t count = 0;
+  GenerateRichGraph(config, 42, [&](const RichEdge& e) {
+    EXPECT_TRUE(seen.insert(e).second);
+    ++count;
+  });
+  EXPECT_EQ(seen.size(), count);
+}
+
+TEST(SchemaGeneratorTest, AuthorOutZipfInGaussianShape) {
+  // Figure 10: researcher->paper author edges, Zipfian out / Gaussian in.
+  GraphConfig config = GraphConfig::Bibliography(60000, 600000);
+  auto ranges = config.NodeRanges();
+  const auto& researchers = ranges[0];
+  const auto& papers = ranges[1];
+  std::vector<std::uint32_t> out(researchers.size(), 0);
+  std::vector<std::uint32_t> in(papers.size(), 0);
+  std::uint64_t author_edges = 0;
+  GenerateRichGraph(config, 42, [&](const RichEdge& e) {
+    if (e.predicate == 0) {  // author
+      ++out[e.src - researchers.begin];
+      ++in[e.dst - papers.begin];
+      ++author_edges;
+    }
+  });
+  auto in_hist =
+      analysis::DegreeHistogram::FromDegrees(in, /*include_zero=*/true);
+  // Out side: heavy-tailed, class slope near the configured -1.662.
+  EXPECT_NEAR(analysis::PopcountClassSlope(out), -1.662, 0.25);
+  // In side: Gaussian — no heavy tail.
+  double mu = static_cast<double>(author_edges) /
+              static_cast<double>(papers.size());
+  EXPECT_NEAR(in_hist.MeanDegree(), mu, 0.05 * mu);
+  EXPECT_LT(static_cast<double>(in_hist.MaxDegree()),
+            mu + 8 * std::sqrt(mu));
+}
+
+TEST(SchemaGeneratorTest, DeterministicGivenSeed) {
+  GraphConfig config = GraphConfig::Bibliography(2000, 10000);
+  std::vector<RichEdge> run1, run2;
+  GenerateRichGraph(config, 7, [&](const RichEdge& e) { run1.push_back(e); });
+  GenerateRichGraph(config, 7, [&](const RichEdge& e) { run2.push_back(e); });
+  EXPECT_EQ(run1, run2);
+}
+
+}  // namespace
+}  // namespace tg::gmark

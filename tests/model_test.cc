@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "model/edge_probability.h"
+#include "model/noise.h"
+#include "model/seed_matrix.h"
+#include "rng/random.h"
+
+namespace tg::model {
+namespace {
+
+TEST(SeedMatrixTest, Graph500Parameters) {
+  SeedMatrix k = SeedMatrix::Graph500();
+  EXPECT_DOUBLE_EQ(k.a(), 0.57);
+  EXPECT_DOUBLE_EQ(k.b(), 0.19);
+  EXPECT_DOUBLE_EQ(k.c(), 0.19);
+  EXPECT_DOUBLE_EQ(k.d(), 0.05);
+}
+
+TEST(SeedMatrixTest, RowAndColSums) {
+  SeedMatrix k(0.5, 0.2, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(k.RowSum(0), 0.7);
+  EXPECT_DOUBLE_EQ(k.RowSum(1), 0.3);
+  EXPECT_DOUBLE_EQ(k.ColSum(0), 0.7);
+  EXPECT_DOUBLE_EQ(k.ColSum(1), 0.3);
+}
+
+TEST(SeedMatrixTest, EntryIndexing) {
+  SeedMatrix k(0.4, 0.3, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(k.Entry(0, 0), 0.4);
+  EXPECT_DOUBLE_EQ(k.Entry(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(k.Entry(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(k.Entry(1, 1), 0.1);
+}
+
+TEST(SeedMatrixTest, SigmaMatchesLemma3Definition) {
+  SeedMatrix k(0.5, 0.2, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(k.Sigma(0), 0.2 / 0.5);
+  EXPECT_DOUBLE_EQ(k.Sigma(1), 0.1 / 0.2);
+}
+
+TEST(SeedMatrixTest, GraphFiveHundredZipfSlope) {
+  // Section 6.1: the Graph500 parameters match Zipfian slope -1.662.
+  SeedMatrix k = SeedMatrix::Graph500();
+  EXPECT_NEAR(k.TheoreticalOutSlope(), -1.662, 0.001);
+  // The matrix is symmetric so in-slope equals out-slope.
+  EXPECT_NEAR(k.TheoreticalInSlope(), -1.662, 0.001);
+}
+
+TEST(SeedMatrixTest, FromZipfOutSlopeRoundTrips) {
+  for (double slope : {-0.5, -1.0, -1.662, -2.5}) {
+    SeedMatrix k = SeedMatrix::FromZipfOutSlope(slope);
+    EXPECT_NEAR(k.TheoreticalOutSlope(), slope, 1e-12);
+  }
+}
+
+TEST(SeedMatrixTest, TransposeSwapsOffDiagonal) {
+  SeedMatrix k(0.5, 0.3, 0.15, 0.05);
+  SeedMatrix t = k.Transposed();
+  EXPECT_DOUBLE_EQ(t.b(), 0.15);
+  EXPECT_DOUBLE_EQ(t.c(), 0.3);
+  EXPECT_DOUBLE_EQ(t.TheoreticalOutSlope(), k.TheoreticalInSlope());
+}
+
+TEST(SeedMatrixTest, ExpectedOneBitFraction) {
+  // Exact destination-bit marginal is b + d (see header comment; the paper's
+  // Lemma 5 numeric value 1/4.917 is inconsistent with its own equation).
+  SeedMatrix k = SeedMatrix::Graph500();
+  EXPECT_NEAR(k.ExpectedOneBitFraction(), 0.24, 1e-12);
+  // Uniform parameters: every destination bit is 1 with probability 1/2.
+  EXPECT_NEAR(SeedMatrix::ErdosRenyi().ExpectedOneBitFraction(), 0.5, 1e-12);
+}
+
+TEST(SeedMatrixDeathTest, RejectsInvalidParameters) {
+  EXPECT_DEATH(SeedMatrix(0.5, 0.5, 0.5, 0.5), "sum to 1");
+  EXPECT_DEATH(SeedMatrix(1.2, -0.2, 0.0, 0.0), "non-negative");
+}
+
+class EdgeProbabilityTest : public ::testing::Test {
+ protected:
+  static constexpr int kScale = 4;  // |V| = 16: brute force is cheap
+  SeedMatrix seed_ = SeedMatrix(0.5, 0.2, 0.2, 0.1);
+  EdgeProbability prob_{seed_, kScale};
+};
+
+TEST_F(EdgeProbabilityTest, CellProbabilitiesSumToOne) {
+  double total = 0;
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = 0; v < 16; ++v) {
+      total += prob_.CellProbability(u, v);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_F(EdgeProbabilityTest, CellMatchesExplicitKroneckerProduct) {
+  // Build K^{(x)4} explicitly and compare every cell.
+  std::vector<double> k = {0.5, 0.2, 0.2, 0.1};
+  std::vector<double> full = {1.0};
+  std::size_t dim = 1;
+  for (int level = 0; level < kScale; ++level) {
+    std::vector<double> next(dim * 2 * dim * 2);
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < 2; ++j) {
+            next[(r * 2 + i) * dim * 2 + (c * 2 + j)] =
+                full[r * dim + c] * k[i * 2 + j];
+          }
+        }
+      }
+    }
+    full = std::move(next);
+    dim *= 2;
+  }
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = 0; v < 16; ++v) {
+      EXPECT_NEAR(prob_.CellProbability(u, v), full[u * 16 + v], 1e-15)
+          << "cell (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST_F(EdgeProbabilityTest, RowProbabilityIsRowSumOfCells) {
+  for (VertexId u = 0; u < 16; ++u) {
+    double row = 0;
+    for (VertexId v = 0; v < 16; ++v) row += prob_.CellProbability(u, v);
+    EXPECT_NEAR(prob_.RowProbability(u), row, 1e-12) << "row " << u;
+  }
+}
+
+TEST_F(EdgeProbabilityTest, ColProbabilityIsColSumOfCells) {
+  for (VertexId v = 0; v < 16; ++v) {
+    double col = 0;
+    for (VertexId u = 0; u < 16; ++u) col += prob_.CellProbability(u, v);
+    EXPECT_NEAR(prob_.ColProbability(v), col, 1e-12) << "col " << v;
+  }
+}
+
+TEST_F(EdgeProbabilityTest, CumulativeRowMatchesBruteForcePrefixSum) {
+  double cum = 0;
+  for (VertexId u = 0; u <= 16; ++u) {
+    EXPECT_NEAR(prob_.CumulativeRowProbability(u), cum, 1e-12) << "u=" << u;
+    if (u < 16) cum += prob_.RowProbability(u);
+  }
+  EXPECT_NEAR(prob_.CumulativeRowProbability(16), 1.0, 1e-12);
+}
+
+TEST_F(EdgeProbabilityTest, ExpectedOutDegreeScalesWithEdges) {
+  EXPECT_NEAR(prob_.ExpectedOutDegree(0, 1000),
+              1000 * std::pow(0.7, kScale), 1e-9);
+}
+
+TEST_F(EdgeProbabilityTest, MaxRowProbabilityIsMaxOverRows) {
+  double max_row = 0;
+  for (VertexId u = 0; u < 16; ++u) {
+    max_row = std::max(max_row, prob_.RowProbability(u));
+  }
+  EXPECT_NEAR(prob_.MaxRowProbability(), max_row, 1e-15);
+}
+
+TEST(EdgeProbabilityLargeScaleTest, NoOverflowAtScale40) {
+  EdgeProbability prob(SeedMatrix::Graph500(), 40);
+  VertexId u = (VertexId{1} << 40) - 1;  // all-ones row: smallest marginal
+  double p = prob.RowProbability(u);
+  EXPECT_GT(p, 0.0);
+  EXPECT_NEAR(p, std::pow(0.24, 40), std::pow(0.24, 40) * 1e-9);
+  EXPECT_NEAR(prob.CumulativeRowProbability(prob.num_vertices()), 1.0, 1e-9);
+}
+
+TEST(NoiseVectorTest, NoiseFreeEqualsBaseEverywhere) {
+  SeedMatrix base = SeedMatrix::Graph500();
+  NoiseVector nv(base, 10);
+  EXPECT_TRUE(nv.IsNoiseFree());
+  for (int level = 0; level < 10; ++level) {
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_DOUBLE_EQ(nv.Entry(level, r, c), base.Entry(r, c));
+      }
+      EXPECT_DOUBLE_EQ(nv.RowSum(level, r), base.RowSum(r));
+    }
+  }
+}
+
+TEST(NoiseVectorTest, NoisyMatricesPreserveTotalMassPerLevel) {
+  SeedMatrix base = SeedMatrix::Graph500();
+  rng::Rng rng(5);
+  NoiseVector nv(base, 20, 0.1, &rng);
+  EXPECT_FALSE(nv.IsNoiseFree());
+  for (int level = 0; level < 20; ++level) {
+    double total = 0;
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) total += nv.Entry(level, r, c);
+    }
+    // Definition 3 preserves the sum: a+d shrink exactly offsets b,c growth.
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(nv.RowSum(level, 0) + nv.RowSum(level, 1), 1.0, 1e-12);
+  }
+}
+
+TEST(NoiseVectorTest, NoiseStaysWithinBound) {
+  SeedMatrix base = SeedMatrix::Graph500();
+  rng::Rng rng(6);
+  double bound = std::min((base.a() + base.d()) / 2.0, base.b());
+  NoiseVector nv(base, 30, 10.0 /* clamped */, &rng);
+  for (int level = 0; level < 30; ++level) {
+    EXPECT_LE(std::abs(nv.mu(level)), bound + 1e-12);
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_GE(nv.Entry(level, r, c), 0.0);
+      }
+    }
+  }
+}
+
+TEST(NoiseVectorTest, MatchesDefinition3Formula) {
+  SeedMatrix base(0.5, 0.2, 0.2, 0.1);
+  rng::Rng rng(7);
+  NoiseVector nv(base, 8, 0.05, &rng);
+  for (int level = 0; level < 8; ++level) {
+    double mu = nv.mu(level);
+    double shrink = 1.0 - 2.0 * mu / (base.a() + base.d());
+    EXPECT_NEAR(nv.Entry(level, 0, 0), base.a() * shrink, 1e-15);
+    EXPECT_NEAR(nv.Entry(level, 0, 1), base.b() + mu, 1e-15);
+    EXPECT_NEAR(nv.Entry(level, 1, 0), base.c() + mu, 1e-15);
+    EXPECT_NEAR(nv.Entry(level, 1, 1), base.d() * shrink, 1e-15);
+  }
+}
+
+TEST(NoiseVectorTest, BitIndexingIsMsbFirstLevels) {
+  SeedMatrix base = SeedMatrix::Graph500();
+  rng::Rng rng(8);
+  NoiseVector nv(base, 12, 0.1, &rng);
+  for (int bit = 0; bit < 12; ++bit) {
+    EXPECT_DOUBLE_EQ(nv.EntryAtBit(bit, 0, 1), nv.Entry(11 - bit, 0, 1));
+    EXPECT_DOUBLE_EQ(nv.RowSumAtBit(bit, 1), nv.RowSum(11 - bit, 1));
+  }
+}
+
+}  // namespace
+}  // namespace tg::model

@@ -1,0 +1,181 @@
+// Property-based parameterized sweeps: core invariants checked across a grid
+// of seed matrices, scales, noise levels and RNG seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "core/edge_determiner.h"
+#include "core/partitioner.h"
+#include "core/rec_vec.h"
+#include "core/trilliong.h"
+#include "model/edge_probability.h"
+
+namespace tg::core {
+namespace {
+
+using model::EdgeProbability;
+using model::NoiseVector;
+using model::SeedMatrix;
+
+// ---------------------------------------------------------------------------
+// RecVec invariants across (seed matrix, scale, source vertex pattern).
+// ---------------------------------------------------------------------------
+
+struct SeedCase {
+  const char* name;
+  double a, b, c, d;
+};
+
+class RecVecPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SeedCase, int>> {};
+
+TEST_P(RecVecPropertyTest, CdfIsMonotoneAndBounded) {
+  auto [seed_case, scale] = GetParam();
+  SeedMatrix seed(seed_case.a, seed_case.b, seed_case.c, seed_case.d);
+  NoiseVector noise(seed, scale);
+  // Probe structured vertex patterns: all-zeros, all-ones, alternating,
+  // single bits.
+  std::vector<VertexId> probes = {0, (VertexId{1} << scale) - 1};
+  for (int b = 0; b < scale; ++b) probes.push_back(VertexId{1} << b);
+  VertexId alternating = 0;
+  for (int b = 0; b < scale; b += 2) alternating |= VertexId{1} << b;
+  probes.push_back(alternating);
+
+  for (VertexId u : probes) {
+    RecVec<double> rv(noise, u);
+    EXPECT_GT(rv[0], 0.0);
+    for (int x = 0; x < scale; ++x) {
+      EXPECT_LE(rv[x], rv[x + 1]) << "u=" << u << " x=" << x;
+    }
+    EXPECT_LE(rv.Total(), 1.0 + 1e-12);
+    // Lemma 1 closed form.
+    EdgeProbability prob(seed, scale);
+    EXPECT_NEAR(rv.Total(), prob.RowProbability(u),
+                1e-9 * prob.RowProbability(u) + 1e-300);
+  }
+}
+
+TEST_P(RecVecPropertyTest, DetermineEdgeStaysInRange) {
+  auto [seed_case, scale] = GetParam();
+  SeedMatrix seed(seed_case.a, seed_case.b, seed_case.c, seed_case.d);
+  NoiseVector noise(seed, scale);
+  rng::Rng rng(2024);
+  const VertexId n = VertexId{1} << scale;
+  for (int trial = 0; trial < 200; ++trial) {
+    VertexId u = rng.NextBounded(n);
+    RecVec<double> rv(noise, u);
+    for (int i = 0; i < 50; ++i) {
+      double x = NextUniformReal<double>(&rng, rv.Total());
+      VertexId v = DetermineEdge(rv, x);
+      EXPECT_LT(v, n) << "u=" << u;
+      // Idea#2-off variant must agree exactly for the same x.
+      EXPECT_EQ(DetermineEdgeLinear(rv, x), v);
+    }
+  }
+}
+
+constexpr SeedCase kSeeds[] = {
+    {"graph500", 0.57, 0.19, 0.19, 0.05},
+    {"uniform", 0.25, 0.25, 0.25, 0.25},
+    {"skewed", 0.7, 0.15, 0.1, 0.05},
+    {"asymmetric", 0.45, 0.3, 0.2, 0.05},
+    {"column_heavy", 0.3, 0.4, 0.1, 0.2},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByScales, RecVecPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kSeeds),
+                       ::testing::Values(4, 9, 16, 25, 40)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_scale" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Whole-graph invariants across (seed, noise, rng seed).
+// ---------------------------------------------------------------------------
+
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SeedCase, double, int>> {};
+
+TEST_P(GeneratorPropertyTest, EdgeMassMatchesTheorem1Aggregate) {
+  auto [seed_case, noise, rng_seed] = GetParam();
+  TrillionGConfig config;
+  config.scale = 11;
+  config.edge_factor = 8;
+  config.seed = SeedMatrix(seed_case.a, seed_case.b, seed_case.c,
+                           seed_case.d);
+  config.noise = noise;
+  config.rng_seed = static_cast<std::uint64_t>(rng_seed);
+
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  double expected = static_cast<double>(config.NumEdges());
+  // Aggregate of per-scope Normal samples: mean |E|, stddev < sqrt(|E|).
+  // The bound is asymmetric: dedup and the |V| degree cap can only *remove*
+  // mass, and for strongly skewed seeds at this small scale the head rows
+  // saturate (expected degree > |V|), clipping up to ~15%.
+  EXPECT_LE(static_cast<double>(stats.num_edges),
+            expected + 6 * std::sqrt(expected));
+  EXPECT_GE(static_cast<double>(stats.num_edges),
+            0.82 * expected - 6 * std::sqrt(expected));
+  EXPECT_LE(stats.max_degree, config.NumVertices());
+  EXPECT_GT(stats.num_scopes, 0u);
+  EXPECT_LE(stats.num_scopes, config.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kSeeds),
+                       ::testing::Values(0.0, 0.1),
+                       ::testing::Values(1, 7, 1234)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) +
+             (std::get<1>(info.param) > 0 ? "_noisy" : "_plain") + "_rng" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Partitioner invariants across seeds and bin counts.
+// ---------------------------------------------------------------------------
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SeedCase, int>> {};
+
+TEST_P(PartitionPropertyTest, BinsTileTheRangeWithBalancedMass) {
+  auto [seed_case, bins] = GetParam();
+  const int scale = 14;
+  SeedMatrix seed(seed_case.a, seed_case.b, seed_case.c, seed_case.d);
+  NoiseVector noise(seed, scale);
+  EdgeProbability prob(seed, scale);
+  std::vector<VertexId> b = PartitionByCdf(noise, bins);
+  ASSERT_EQ(b.size(), static_cast<std::size_t>(bins) + 1);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), VertexId{1} << scale);
+  double worst = 0;
+  for (int i = 0; i < bins; ++i) {
+    EXPECT_LE(b[i], b[i + 1]);
+    double mass = prob.CumulativeRowProbability(b[i + 1]) -
+                  prob.CumulativeRowProbability(b[i]);
+    worst = std::max(worst, mass);
+  }
+  // No bin may exceed its fair share by more than one head vertex's mass.
+  EXPECT_LE(worst, 1.0 / bins + prob.MaxRowProbability() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kSeeds),
+                       ::testing::Values(2, 5, 16, 61)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_bins" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tg::core

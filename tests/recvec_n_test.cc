@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "baseline/kronecker.h"
+#include "core/avs_generator_n.h"
+#include "core/edge_determiner.h"
+#include "core/rec_vec.h"
+#include "core/rec_vec_n.h"
+#include "model/noise.h"
+#include "model/seed_matrix.h"
+#include "rng/random.h"
+
+namespace tg::core {
+namespace {
+
+using model::SeedMatrix;
+using model::SeedMatrixN;
+
+/// Brute-force cell probability for an n x n Kronecker product.
+double CellN(const SeedMatrixN& seed, int levels, VertexId u, VertexId v) {
+  const int n = seed.n();
+  double p = 1.0;
+  for (int k = 0; k < levels; ++k) {
+    p *= seed.Entry(static_cast<int>(u % n), static_cast<int>(v % n));
+    u /= n;
+    v /= n;
+  }
+  return p;
+}
+
+TEST(RecVecNTest, ValuesMatchBruteForceCdf3x3) {
+  SeedMatrixN seed = SeedMatrixN::Example3x3();
+  const int levels = 4;  // |V| = 81
+  const VertexId num_vertices = 81;
+  for (VertexId u = 0; u < num_vertices; u += 5) {
+    RecVecN rv(seed, levels, u);
+    double cum = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      cum += CellN(seed, levels, u, v);
+      // Check RecVecN entries at the powers-of-three boundaries.
+      VertexId boundary = 1;
+      for (int i = 0; i <= levels; ++i) {
+        if (v + 1 == boundary) {
+          EXPECT_NEAR(rv[i], cum, 1e-12) << "u=" << u << " x=" << i;
+        }
+        boundary *= 3;
+      }
+    }
+    EXPECT_NEAR(rv.Total(), cum, 1e-12);
+  }
+}
+
+TEST(RecVecNTest, BlockStartsMatchBruteForce) {
+  SeedMatrixN seed = SeedMatrixN::Example3x3();
+  const int levels = 3;  // |V| = 27
+  for (VertexId u : {VertexId{0}, VertexId{7}, VertexId{26}}) {
+    RecVecN rv(seed, levels, u);
+    for (int x = 0; x < levels; ++x) {
+      VertexId block = rv.PowN(x);
+      for (int d = 0; d <= 3; ++d) {
+        double cum = 0;
+        for (VertexId v = 0; v < static_cast<VertexId>(d) * block; ++v) {
+          cum += CellN(seed, levels, u, v);
+        }
+        EXPECT_NEAR(rv.BlockStart(x, d), cum, 1e-12)
+            << "u=" << u << " x=" << x << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(RecVecNTest, DetermineEdgeNIsExactCdfInverse3x3) {
+  SeedMatrixN seed = SeedMatrixN::Example3x3();
+  const int levels = 3;
+  const VertexId num_vertices = 27;
+  for (VertexId u = 0; u < num_vertices; u += 4) {
+    RecVecN rv(seed, levels, u);
+    double cum = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      double p = CellN(seed, levels, u, v);
+      double mid = cum + p / 2;
+      EXPECT_EQ(DetermineEdgeN(rv, mid), v) << "u=" << u << " v=" << v;
+      cum += p;
+    }
+  }
+}
+
+TEST(RecVecNTest, N2MatchesBinaryRecVec) {
+  // With a 2 x 2 seed, RecVecN must agree with the paper's RecVec exactly.
+  SeedMatrix seed2 = SeedMatrix::Graph500();
+  SeedMatrixN seedn = SeedMatrixN::FromSeedMatrix(seed2);
+  const int scale = 10;
+  model::NoiseVector noise(seed2, scale);
+  rng::Rng rng(17);
+  for (VertexId u : {VertexId{0}, VertexId{123}, VertexId{1023}}) {
+    RecVec<double> rv2(noise, u);
+    RecVecN rvn(seedn, scale, u);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(rvn[x], rv2[x], 1e-12);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      double x = rng.NextDouble(rv2.Total() * 0.999999);
+      EXPECT_EQ(DetermineEdgeN(rvn, x), DetermineEdge(rv2, x));
+    }
+  }
+}
+
+TEST(RecVecNTest, DistributionMatchesCells) {
+  SeedMatrixN seed = SeedMatrixN::Example3x3();
+  const int levels = 2;  // |V| = 9
+  VertexId u = 5;
+  RecVecN rv(seed, levels, u);
+  rng::Rng rng(99);
+  const int trials = 200000;
+  std::vector<int> counts(9, 0);
+  for (int i = 0; i < trials; ++i) {
+    ++counts[DetermineEdgeN(rv, rng.NextDouble(rv.Total()))];
+  }
+  double chi2 = 0;
+  for (VertexId v = 0; v < 9; ++v) {
+    double expected = trials * CellN(seed, levels, u, v) / rv.Total();
+    chi2 += (counts[v] - expected) * (counts[v] - expected) / expected;
+  }
+  // 8 dof, 99.9% critical ~26.1.
+  EXPECT_LT(chi2, 26.1);
+}
+
+TEST(AvsGeneratorNTest, EdgeCountNearTargetAndDeduped) {
+  AvsNOptions options;
+  options.seed = SeedMatrixN::Example3x3();
+  options.levels = 7;  // |V| = 2187
+  options.num_edges = 1 << 15;
+
+  std::map<VertexId, std::vector<VertexId>> scopes;
+  class Sink : public ScopeSink {
+   public:
+    explicit Sink(std::map<VertexId, std::vector<VertexId>>* out)
+        : out_(out) {}
+    void ConsumeScope(VertexId u, const VertexId* adj,
+                      std::size_t n) override {
+      (*out_)[u].assign(adj, adj + n);
+    }
+    std::map<VertexId, std::vector<VertexId>>* out_;
+  };
+  Sink sink(&scopes);
+  AvsNStats stats = GenerateAvsN(options, &sink);
+
+  double expected = static_cast<double>(options.num_edges);
+  EXPECT_LE(static_cast<double>(stats.num_edges),
+            expected + 6 * std::sqrt(expected));
+  EXPECT_GE(static_cast<double>(stats.num_edges), 0.85 * expected);
+  for (const auto& [u, adj] : scopes) {
+    EXPECT_LT(u, 2187u);
+    std::set<VertexId> unique(adj.begin(), adj.end());
+    EXPECT_EQ(unique.size(), adj.size());
+    for (VertexId v : adj) EXPECT_LT(v, 2187u);
+  }
+}
+
+TEST(AvsGeneratorNTest, MatchesFastKroneckerDistribution) {
+  // The generalized AVS model and FastKronecker draw from the same 3 x 3
+  // SKG distribution: compare out-degree histograms by KS distance.
+  AvsNOptions options;
+  options.seed = SeedMatrixN::Example3x3();
+  options.levels = 7;
+  options.num_edges = 1 << 15;
+  std::vector<std::uint32_t> avs_out(2187, 0);
+  class Sink : public ScopeSink {
+   public:
+    explicit Sink(std::vector<std::uint32_t>* out) : out_(out) {}
+    void ConsumeScope(VertexId u, const VertexId*, std::size_t n) override {
+      (*out_)[u] += static_cast<std::uint32_t>(n);
+    }
+    std::vector<std::uint32_t>* out_;
+  };
+  Sink sink(&avs_out);
+  GenerateAvsN(options, &sink);
+
+  baseline::FastKroneckerOptions fk;
+  fk.seed = options.seed;
+  fk.num_vertices = 2187;
+  fk.num_edges = 1 << 15;
+  std::vector<std::uint32_t> fk_out(2187, 0);
+  baseline::FastKronecker(fk, [&](const Edge& e) { ++fk_out[e.src]; });
+
+  double ks = analysis::DegreeHistogram::KsDistance(
+      analysis::DegreeHistogram::FromDegrees(avs_out),
+      analysis::DegreeHistogram::FromDegrees(fk_out));
+  EXPECT_LT(ks, 0.06);
+}
+
+}  // namespace
+}  // namespace tg::core

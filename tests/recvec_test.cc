@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cdf_vector.h"
+#include "core/edge_determiner.h"
+#include "core/on_demand_cdf.h"
+#include "core/rec_vec.h"
+#include "model/edge_probability.h"
+#include "model/noise.h"
+#include "numeric/double_double.h"
+#include "rng/random.h"
+
+namespace tg::core {
+namespace {
+
+using model::EdgeProbability;
+using model::NoiseVector;
+using model::SeedMatrix;
+
+/// Brute-force CDF F_u(r) = sum_{v < r} K_{u,v}.
+std::vector<double> BruteForceCdf(const EdgeProbability& prob, VertexId u) {
+  VertexId n = prob.num_vertices();
+  std::vector<double> cdf(n + 1, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    cdf[v + 1] = cdf[v] + prob.CellProbability(u, v);
+  }
+  return cdf;
+}
+
+TEST(RecVecTest, MatchesDefinition2AgainstBruteForceCdf) {
+  const int scale = 6;
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  for (VertexId u = 0; u < prob.num_vertices(); ++u) {
+    RecVec<double> rv(noise, u);
+    std::vector<double> cdf = BruteForceCdf(prob, u);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(rv[x], cdf[VertexId{1} << x], 1e-12)
+          << "u=" << u << " x=" << x;
+    }
+    EXPECT_NEAR(rv.Total(), prob.RowProbability(u), 1e-12);
+  }
+}
+
+TEST(RecVecTest, PaperWorkedExampleSourceVertex2) {
+  // Figure 3 / Section 4.2: seed [0.5, 0.2; 0.2, 0.1], |V| = 8, u = 2 gives
+  // RecVec = [0.05, 0.07, 0.105, 0.147].
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  NoiseVector noise(seed, 3);
+  RecVec<double> rv(noise, 2);
+  EXPECT_NEAR(rv[0], 0.05, 1e-12);
+  EXPECT_NEAR(rv[1], 0.07, 1e-12);
+  EXPECT_NEAR(rv[2], 0.105, 1e-12);
+  EXPECT_NEAR(rv[3], 0.147, 1e-12);
+}
+
+TEST(RecVecTest, Lemma2ClosedFormMatchesConstruction) {
+  // RecVec[x] = (a/(a+b))^(L-x-Bits(u>>x)) * (c/(c+d))^Bits(u>>x) * P_u->.
+  const int scale = 10;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  EdgeProbability prob(seed, scale);
+  for (VertexId u : {VertexId{0}, VertexId{5}, VertexId{513}, VertexId{1023}}) {
+    RecVec<double> rv(noise, u);
+    double pu = prob.RowProbability(u);
+    for (int x = 0; x <= scale; ++x) {
+      int ones = std::popcount(u >> x);
+      double expected = std::pow(seed.a() / (seed.a() + seed.b()),
+                                 scale - x - ones) *
+                        std::pow(seed.c() / (seed.c() + seed.d()), ones) * pu;
+      EXPECT_NEAR(rv[x], expected, 1e-12) << "u=" << u << " x=" << x;
+    }
+  }
+}
+
+TEST(RecVecTest, ScaleSymmetryLemma3) {
+  // P_{u->(R+r)} / P_{u->r} == K_{u[k],1} / K_{u[k],0} for R = 2^k.
+  const int scale = 5;
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  EdgeProbability prob(seed, scale);
+  for (VertexId u = 0; u < prob.num_vertices(); ++u) {
+    for (int k = 0; k < scale; ++k) {
+      VertexId big_r = VertexId{1} << k;
+      double sigma_expected = seed.Sigma((u >> k) & 1);
+      for (VertexId r = 0; r < big_r; ++r) {
+        double ratio = prob.CellProbability(u, big_r + r) /
+                       prob.CellProbability(u, r);
+        EXPECT_NEAR(ratio, sigma_expected, 1e-9)
+            << "u=" << u << " k=" << k << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(RecVecTest, TranslationalSymmetryLemma4) {
+  // F_u(R + r) = F_u(R) + sigma_{u[k]} * F_u(r).
+  const int scale = 5;
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  EdgeProbability prob(seed, scale);
+  for (VertexId u = 0; u < prob.num_vertices(); ++u) {
+    std::vector<double> cdf = BruteForceCdf(prob, u);
+    for (int k = 0; k < scale; ++k) {
+      VertexId big_r = VertexId{1} << k;
+      double sigma = seed.Sigma((u >> k) & 1);
+      for (VertexId r = 0; r <= big_r; ++r) {
+        EXPECT_NEAR(cdf[big_r + r], cdf[big_r] + sigma * cdf[r], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RecVecTest, SigmaFromStoredValuesMatchesSeedRatio) {
+  const int scale = 8;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  for (VertexId u : {VertexId{0}, VertexId{37}, VertexId{255}}) {
+    RecVec<double> rv(noise, u);
+    for (int k = 0; k < scale; ++k) {
+      EXPECT_NEAR(rv.Sigma(k), seed.Sigma((u >> k) & 1), 1e-9)
+          << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+TEST(RecVecTest, PaperWorkedExampleEdgeDetermination) {
+  // Section 4.2 / Figure 5: u = 2, x = 0.133 must produce destination 6.
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  NoiseVector noise(seed, 3);
+  RecVec<double> rv(noise, 2);
+  EXPECT_EQ(DetermineEdge(rv, 0.133), VertexId{6});
+  // And the linear variant must agree.
+  EXPECT_EQ(DetermineEdgeLinear(rv, 0.133), VertexId{6});
+}
+
+TEST(RecVecTest, DetermineEdgeIsExactCdfInverse) {
+  // For every cell boundary, x just inside [F(v), F(v+1)) must map to v.
+  const int scale = 6;
+  SeedMatrix seed(0.5, 0.2, 0.2, 0.1);
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  for (VertexId u = 0; u < prob.num_vertices(); u += 7) {
+    RecVec<double> rv(noise, u);
+    std::vector<double> cdf = BruteForceCdf(prob, u);
+    for (VertexId v = 0; v < prob.num_vertices(); ++v) {
+      double mid = (cdf[v] + cdf[v + 1]) / 2;
+      EXPECT_EQ(DetermineEdge(rv, mid), v) << "u=" << u << " v=" << v;
+      EXPECT_EQ(DetermineEdgeLinear(rv, mid), v) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(RecVecTest, DetermineEdgeDistributionMatchesCellProbabilities) {
+  // Chi-square of empirical destinations against K_{u,v}.
+  const int scale = 4;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  VertexId u = 5;
+  RecVec<double> rv(noise, u);
+  rng::Rng rng(123);
+  const int n = 200000;
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < n; ++i) {
+    double x = NextUniformReal<double>(&rng, rv.Total());
+    ++counts[DetermineEdge(rv, x)];
+  }
+  double chi2 = 0;
+  for (VertexId v = 0; v < 16; ++v) {
+    double expected = n * prob.CellProbability(u, v) / prob.RowProbability(u);
+    chi2 += (counts[v] - expected) * (counts[v] - expected) / expected;
+  }
+  // 15 dof, 99.9% critical value ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+class DeterminerVariantTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(DeterminerVariantTest, AllIdeaCombinationsDrawSameDistribution) {
+  auto [idea1, idea2, idea3] = GetParam();
+  DeterminerOptions opts;
+  opts.reuse_rec_vec = idea1;
+  opts.reduce_recursions = idea2;
+  opts.reuse_random_value = idea3;
+
+  const int scale = 4;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  VertexId u = 9;
+  RecVec<double> rv(noise, u);
+  rng::Rng rng(99);
+  const int n = 100000;
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < n; ++i) {
+    double x = NextUniformReal<double>(&rng, rv.Total());
+    ++counts[DetermineEdgeWithOptions(rv, x, &rng, opts)];
+  }
+  double chi2 = 0;
+  for (VertexId v = 0; v < 16; ++v) {
+    double expected = n * prob.CellProbability(u, v) / prob.RowProbability(u);
+    chi2 += (counts[v] - expected) * (counts[v] - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7) << "ideas: " << idea1 << idea2 << idea3;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, DeterminerVariantTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(RecVecTest, DoubleDoubleAgreesWithDoubleAtModerateScale) {
+  const int scale = 12;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  for (VertexId u : {VertexId{0}, VertexId{100}, VertexId{4095}}) {
+    RecVec<double> rvd(noise, u);
+    RecVec<numeric::DoubleDouble> rvq(noise, u);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(rvq[x].ToDouble(), rvd[x], 1e-12 * rvd[scale]);
+    }
+  }
+}
+
+TEST(RecVecTest, DoubleDoubleDetermineEdgeMatchesDouble) {
+  const int scale = 8;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  VertexId u = 77;
+  RecVec<double> rvd(noise, u);
+  RecVec<numeric::DoubleDouble> rvq(noise, u);
+  rng::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble(rvd.Total() * 0.999999);
+    VertexId vd = DetermineEdge(rvd, x);
+    VertexId vq = DetermineEdge(rvq, numeric::DoubleDouble(x));
+    EXPECT_EQ(vd, vq);
+  }
+}
+
+TEST(RecVecTest, NoisyRecVecMatchesBruteForceNoisyKronecker) {
+  // Build the noisy Kronecker matrix explicitly from per-level matrices and
+  // compare F'_u(2^x) (Lemma 8 realized through per-level products).
+  const int scale = 5;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  rng::Rng noise_rng(31);
+  NoiseVector noise(seed, scale, 0.1, &noise_rng);
+
+  const VertexId n = VertexId{1} << scale;
+  // cell(u, v) = prod over levels of K_level(u_bit, v_bit), level 0 = MSB.
+  auto cell = [&](VertexId u, VertexId v) {
+    double p = 1.0;
+    for (int level = 0; level < scale; ++level) {
+      int bitpos = scale - 1 - level;
+      p *= noise.Entry(level, (u >> bitpos) & 1, (v >> bitpos) & 1);
+    }
+    return p;
+  };
+
+  for (VertexId u = 0; u < n; u += 3) {
+    RecVec<double> rv(noise, u);
+    double cum = 0.0;
+    VertexId next_pow = 1;
+    int x = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == next_pow >> 1 && v == 0) {
+        // F(2^0) handled below after adding v=0.
+      }
+      cum += cell(u, v);
+      if (v + 1 == (VertexId{1} << x)) {
+        EXPECT_NEAR(rv[x], cum, 1e-12) << "u=" << u << " x=" << x;
+        ++x;
+      }
+    }
+    EXPECT_NEAR(rv[scale], cum, 1e-12);
+  }
+}
+
+TEST(CdfVectorTest, AgreesWithRecVecAndBruteForce) {
+  const int scale = 7;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  EdgeProbability prob(seed, scale);
+  NoiseVector noise(seed, scale);
+  for (VertexId u : {VertexId{0}, VertexId{42}, VertexId{127}}) {
+    CdfVector cdf(noise, u);
+    RecVec<double> rv(noise, u);
+    EXPECT_NEAR(cdf.Total(), rv.Total(), 1e-12);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(cdf[VertexId{1} << x], rv[x], 1e-12);
+    }
+    // All three inversion methods agree on every cell midpoint.
+    for (VertexId v = 0; v < prob.num_vertices(); ++v) {
+      double mid = (cdf[v] + cdf[v + 1]) / 2;
+      EXPECT_EQ(cdf.InvertLinear(mid), v);
+      EXPECT_EQ(cdf.InvertBinary(mid), v);
+      EXPECT_EQ(DetermineEdge(rv, mid), v);
+    }
+    EXPECT_EQ(cdf.MemoryBytes(), ((VertexId{1} << scale) + 1) * 8);
+  }
+}
+
+TEST(OnDemandCdfTest, AgreesWithRecVecEverywhere) {
+  const int scale = 10;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  rng::Rng noise_rng(3);
+  NoiseVector noise(seed, scale, 0.1, &noise_rng);
+  for (VertexId u : {VertexId{0}, VertexId{77}, VertexId{1023}}) {
+    RecVec<double> rv(noise, u);
+    OnDemandCdf<double> od(&noise, u);
+    EXPECT_EQ(od.scale(), scale);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(od[x], rv[x], 1e-14) << "u=" << u << " x=" << x;
+    }
+    for (int k = 0; k < scale; ++k) {
+      EXPECT_NEAR(od.Sigma(k), rv.Sigma(k), 1e-9);
+      EXPECT_NEAR(od.InvSigma(k), rv.InvSigma(k),
+                  1e-9 * std::abs(rv.InvSigma(k)));
+    }
+    EXPECT_GT(od.evaluations(), 0u);
+  }
+}
+
+TEST(OnDemandCdfTest, DetermineEdgeMatchesRecVecPath) {
+  const int scale = 8;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  VertexId u = 99;
+  RecVec<double> rv(noise, u);
+  OnDemandCdf<double> od(&noise, u);
+  rng::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.NextDouble(rv.Total() * 0.999999);
+    EXPECT_EQ(DetermineEdge(rv, x), DetermineEdge(od, x));
+  }
+}
+
+TEST(RecVecTest, InvSigmaIsReciprocalOfSigma) {
+  const int scale = 12;
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  RecVec<double> rv(noise, 0xABC);
+  for (int k = 0; k < scale; ++k) {
+    EXPECT_NEAR(rv.InvSigma(k) * rv.Sigma(k), 1.0, 1e-12);
+  }
+}
+
+TEST(CdfVectorTest, NoisyCdfMatchesNoisyRecVec) {
+  const int scale = 6;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  rng::Rng rng(17);
+  NoiseVector noise(seed, scale, 0.1, &rng);
+  for (VertexId u : {VertexId{3}, VertexId{60}}) {
+    CdfVector cdf(noise, u);
+    RecVec<double> rv(noise, u);
+    for (int x = 0; x <= scale; ++x) {
+      EXPECT_NEAR(cdf[VertexId{1} << x], rv[x], 1e-12);
+    }
+  }
+}
+
+TEST(RecVecTest, MemoryFootprintIsLogarithmic) {
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise36(seed, 36);
+  RecVec<double> rv(noise36, 12345);
+  // Section 4.2: a trillion-scale RecVec is ~(36+1)*8 bytes.
+  EXPECT_EQ(rv.MemoryBytes(), 37u * sizeof(double));
+}
+
+TEST(RecVecTest, AllOnesAndAllZerosSources) {
+  // Extreme rows: u = 0 (largest marginal) and u = |V|-1 (smallest).
+  const int scale = 20;
+  SeedMatrix seed = SeedMatrix::Graph500();
+  NoiseVector noise(seed, scale);
+  RecVec<double> rv0(noise, 0);
+  RecVec<double> rv1(noise, (VertexId{1} << scale) - 1);
+  EXPECT_NEAR(rv0.Total(), std::pow(0.76, scale), 1e-12);
+  EXPECT_NEAR(rv1.Total(), std::pow(0.24, scale), 1e-18);
+  // CDF must be non-decreasing in x for any source.
+  for (int x = 0; x < scale; ++x) {
+    EXPECT_LE(rv0[x], rv0[x + 1]);
+    EXPECT_LE(rv1[x], rv1[x + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/alias_table.h"
+#include "rng/random.h"
+
+namespace tg::rng {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Pcg64Test, DeterministicGivenSeedAndStream) {
+  Pcg64 a(42, 7), b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg64Test, StreamsAreIndependent) {
+  Pcg64 a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanAndVariance) {
+  Rng rng(5);
+  const int n = 1 << 20;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextDouble();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.002);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(RngTest, NextBoundedIsInRangeAndRoughlyUniform) {
+  Rng rng(17);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t x = rng.NextBounded(bound);
+    ASSERT_LT(x, bound);
+    ++counts[x];
+  }
+  // Chi-square with 9 dof; 99.9% critical value ~27.9.
+  double chi2 = 0;
+  double expected = static_cast<double>(n) / bound;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, NextBoundedHandlesNonPowerOfTwoBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 3ULL, 7ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 1 << 20;
+  double sum = 0, sumsq = 0, sumcube = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+    sumcube += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.01);
+  EXPECT_NEAR(sumcube / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(RngTest, GaussianTailProbability) {
+  Rng rng(13);
+  const int n = 1 << 20;
+  int beyond2 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.NextGaussian()) > 2.0) ++beyond2;
+  }
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.0455, 0.004);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng root(42);
+  Rng a = root.Fork(0);
+  Rng b = root.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ForkIsDeterministicAndStable) {
+  Rng root(42);
+  Rng a1 = root.Fork(123);
+  Rng a2 = root.Fork(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a1.NextUint64(), a2.NextUint64());
+}
+
+TEST(RngTest, ForkIndependentOfRootConsumption) {
+  // Forking must not depend on how much the root has been consumed, so that
+  // per-scope streams are stable regardless of worker scheduling.
+  Rng root1(42);
+  Rng root2(42);
+  root2.NextUint64();
+  root2.NextUint64();
+  Rng f1 = root1.Fork(9);
+  Rng f2 = root2.Fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f1.NextUint64(), f2.NextUint64());
+}
+
+TEST(RngTest, DoubleRangeOverload) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeightsByChiSquare) {
+  std::vector<double> weights = {1, 4, 2, 0.5, 2.5};
+  AliasTable table(weights);
+  Rng rng(31);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  double total = 10.0;
+  double chi2 = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    double expected = n * weights[i] / total;
+    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+  }
+  // 4 dof, 99.9% critical ~18.5.
+  EXPECT_LT(chi2, 18.5);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 3.0});
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    std::size_t s = table.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  AliasTable table({42.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableDeathTest, RejectsInvalidWeights) {
+  EXPECT_DEATH(AliasTable({-1.0, 2.0}), "negative weight");
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "sum to zero");
+}
+
+TEST(MixSeedsTest, SensitiveToBothInputs) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      values.insert(MixSeeds(a, b));
+    }
+  }
+  EXPECT_EQ(values.size(), 100u);
+}
+
+}  // namespace
+}  // namespace tg::rng

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/random.h"
+#include "util/common.h"
+#include "util/flags.h"
+#include "util/flat_set64.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace tg {
+namespace {
+
+TEST(FlatSet64Test, InsertAndContains) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_TRUE(set.Insert(2));
+  EXPECT_FALSE(set.Insert(1));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatSet64Test, ZeroIsAValidKey) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_FALSE(set.Insert(0));
+  EXPECT_TRUE(set.Contains(0));
+}
+
+TEST(FlatSet64Test, GrowsBeyondInitialCapacity) {
+  FlatSet64 set(4);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(set.Insert(i * 2654435761ULL));
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(set.Contains(i * 2654435761ULL));
+  }
+}
+
+TEST(FlatSet64Test, MatchesStdSetUnderRandomWorkload) {
+  FlatSet64 set;
+  std::set<std::uint64_t> reference;
+  rng::Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t key = rng.NextBounded(10000);
+    EXPECT_EQ(set.Insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  std::size_t visited = 0;
+  set.ForEach([&](std::uint64_t key) {
+    EXPECT_TRUE(reference.count(key));
+    ++visited;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatSet64Test, ResetReusesStorage) {
+  FlatSet64 set(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) set.Insert(i);
+  set.Reset(10);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_TRUE(set.Insert(5));
+}
+
+TEST(FlatSet64Test, MemoryBytesTracksCapacity) {
+  FlatSet64 set(100);
+  std::size_t initial = set.MemoryBytes();
+  EXPECT_GE(initial, 200 * sizeof(std::uint64_t));  // >= 2x load headroom
+  for (std::uint64_t i = 0; i < 100000; ++i) set.Insert(i);
+  EXPECT_GT(set.MemoryBytes(), initial);
+}
+
+TEST(MemoryBudgetTest, TracksUsageAndPeak) {
+  MemoryBudget budget;
+  budget.Allocate(100);
+  budget.Allocate(50);
+  EXPECT_EQ(budget.used_bytes(), 150u);
+  EXPECT_EQ(budget.peak_bytes(), 150u);
+  budget.Release(120);
+  EXPECT_EQ(budget.used_bytes(), 30u);
+  EXPECT_EQ(budget.peak_bytes(), 150u);
+}
+
+TEST(MemoryBudgetTest, ThrowsOomWhenLimitExceeded) {
+  MemoryBudget budget(1000);
+  budget.Allocate(900);
+  EXPECT_THROW(budget.Allocate(200), OomError);
+  // Failed allocation must not leak into the accounting.
+  EXPECT_EQ(budget.used_bytes(), 900u);
+  budget.Release(900);
+  budget.Allocate(1000);  // exactly at the limit is fine
+}
+
+TEST(MemoryBudgetTest, ResizeAdjustsInBothDirections) {
+  MemoryBudget budget(1000);
+  budget.Allocate(500);
+  budget.Resize(500, 800);
+  EXPECT_EQ(budget.used_bytes(), 800u);
+  budget.Resize(800, 100);
+  EXPECT_EQ(budget.used_bytes(), 100u);
+}
+
+TEST(ScopedAllocationTest, ReleasesOnDestruction) {
+  MemoryBudget budget;
+  {
+    ScopedAllocation alloc(&budget, 256);
+    EXPECT_EQ(budget.used_bytes(), 256u);
+    alloc.ResizeTo(512);
+    EXPECT_EQ(budget.used_bytes(), 512u);
+  }
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 512u);
+}
+
+TEST(ScopedAllocationTest, NullBudgetIsNoop) {
+  ScopedAllocation alloc(nullptr, 1024);
+  alloc.ResizeTo(2048);
+  EXPECT_EQ(alloc.bytes(), 2048u);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::IoError("open failed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: open failed");
+}
+
+TEST(FlagParserTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog",          "--scale=20",    "--format=adj6",
+                        "--verbose",     "positional1",   "--ratio=0.5",
+                        "--enabled=false"};
+  FlagParser flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("scale", 0), 20);
+  EXPECT_EQ(flags.GetString("format", ""), "adj6");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("enabled", true));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.5);
+  EXPECT_EQ(flags.GetInt("missing", -7), -7);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional1");
+  EXPECT_TRUE(flags.Has("scale"));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(EdgeTest, ComparisonAndEquality) {
+  Edge a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_EQ(a, (Edge{1, 2}));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace tg
