@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_erv.dir/bench/bench_fig10_erv.cc.o"
+  "CMakeFiles/bench_fig10_erv.dir/bench/bench_fig10_erv.cc.o.d"
+  "bench/bench_fig10_erv"
+  "bench/bench_fig10_erv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_erv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

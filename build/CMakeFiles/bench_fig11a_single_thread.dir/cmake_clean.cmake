@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_single_thread.dir/bench/bench_fig11a_single_thread.cc.o"
+  "CMakeFiles/bench_fig11a_single_thread.dir/bench/bench_fig11a_single_thread.cc.o.d"
+  "bench/bench_fig11a_single_thread"
+  "bench/bench_fig11a_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_distributed.dir/bench/bench_fig11b_distributed.cc.o"
+  "CMakeFiles/bench_fig11b_distributed.dir/bench/bench_fig11b_distributed.cc.o.d"
+  "bench/bench_fig11b_distributed"
+  "bench/bench_fig11b_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ideas.dir/bench/bench_fig13_ideas.cc.o"
+  "CMakeFiles/bench_fig13_ideas.dir/bench/bench_fig13_ideas.cc.o.d"
+  "bench/bench_fig13_ideas"
+  "bench/bench_fig13_ideas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ideas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

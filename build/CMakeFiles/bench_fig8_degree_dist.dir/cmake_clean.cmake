@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_degree_dist.dir/bench/bench_fig8_degree_dist.cc.o"
+  "CMakeFiles/bench_fig8_degree_dist.dir/bench/bench_fig8_degree_dist.cc.o.d"
+  "bench/bench_fig8_degree_dist"
+  "bench/bench_fig8_degree_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_degree_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

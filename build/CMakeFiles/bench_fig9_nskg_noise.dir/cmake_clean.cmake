@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nskg_noise.dir/bench/bench_fig9_nskg_noise.cc.o"
+  "CMakeFiles/bench_fig9_nskg_noise.dir/bench/bench_fig9_nskg_noise.cc.o.d"
+  "bench/bench_fig9_nskg_noise"
+  "bench/bench_fig9_nskg_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nskg_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

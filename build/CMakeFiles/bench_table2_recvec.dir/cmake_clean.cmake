@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_recvec.dir/bench/bench_table2_recvec.cc.o"
+  "CMakeFiles/bench_table2_recvec.dir/bench/bench_table2_recvec.cc.o.d"
+  "bench/bench_table2_recvec"
+  "bench/bench_table2_recvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_recvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

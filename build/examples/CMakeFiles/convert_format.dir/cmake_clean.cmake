@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_format.dir/convert_format.cpp.o"
+  "CMakeFiles/convert_format.dir/convert_format.cpp.o.d"
+  "convert_format"
+  "convert_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_analysis.dir/degree_analysis.cpp.o"
+  "CMakeFiles/degree_analysis.dir/degree_analysis.cpp.o.d"
+  "degree_analysis"
+  "degree_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

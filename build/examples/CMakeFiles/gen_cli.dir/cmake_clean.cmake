@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_cli.dir/gen_cli.cpp.o"
+  "CMakeFiles/gen_cli.dir/gen_cli.cpp.o.d"
+  "gen_cli"
+  "gen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_pipeline.dir/graph500_pipeline.cpp.o"
+  "CMakeFiles/graph500_pipeline.dir/graph500_pipeline.cpp.o.d"
+  "graph500_pipeline"
+  "graph500_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

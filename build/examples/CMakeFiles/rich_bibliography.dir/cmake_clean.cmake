@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rich_bibliography.dir/rich_bibliography.cpp.o"
+  "CMakeFiles/rich_bibliography.dir/rich_bibliography.cpp.o.d"
+  "rich_bibliography"
+  "rich_bibliography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rich_bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/degree_dist.cc" "src/CMakeFiles/trilliong.dir/analysis/degree_dist.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/analysis/degree_dist.cc.o.d"
+  "/root/repo/src/analysis/graph_stats.cc" "src/CMakeFiles/trilliong.dir/analysis/graph_stats.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/analysis/graph_stats.cc.o.d"
+  "/root/repo/src/baseline/graph500.cc" "src/CMakeFiles/trilliong.dir/baseline/graph500.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/graph500.cc.o.d"
+  "/root/repo/src/baseline/kronecker.cc" "src/CMakeFiles/trilliong.dir/baseline/kronecker.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/kronecker.cc.o.d"
+  "/root/repo/src/baseline/rmat.cc" "src/CMakeFiles/trilliong.dir/baseline/rmat.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/rmat.cc.o.d"
+  "/root/repo/src/baseline/simple.cc" "src/CMakeFiles/trilliong.dir/baseline/simple.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/simple.cc.o.d"
+  "/root/repo/src/baseline/teg.cc" "src/CMakeFiles/trilliong.dir/baseline/teg.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/teg.cc.o.d"
+  "/root/repo/src/baseline/wesp.cc" "src/CMakeFiles/trilliong.dir/baseline/wesp.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/baseline/wesp.cc.o.d"
+  "/root/repo/src/cluster/trilliong_cluster.cc" "src/CMakeFiles/trilliong.dir/cluster/trilliong_cluster.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/cluster/trilliong_cluster.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/CMakeFiles/trilliong.dir/core/partitioner.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/core/partitioner.cc.o.d"
+  "/root/repo/src/core/trilliong.cc" "src/CMakeFiles/trilliong.dir/core/trilliong.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/core/trilliong.cc.o.d"
+  "/root/repo/src/erv/erv_generator.cc" "src/CMakeFiles/trilliong.dir/erv/erv_generator.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/erv/erv_generator.cc.o.d"
+  "/root/repo/src/format/adj6.cc" "src/CMakeFiles/trilliong.dir/format/adj6.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/format/adj6.cc.o.d"
+  "/root/repo/src/format/convert.cc" "src/CMakeFiles/trilliong.dir/format/convert.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/format/convert.cc.o.d"
+  "/root/repo/src/format/csr6.cc" "src/CMakeFiles/trilliong.dir/format/csr6.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/format/csr6.cc.o.d"
+  "/root/repo/src/format/tsv.cc" "src/CMakeFiles/trilliong.dir/format/tsv.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/format/tsv.cc.o.d"
+  "/root/repo/src/gmark/graph_config.cc" "src/CMakeFiles/trilliong.dir/gmark/graph_config.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/gmark/graph_config.cc.o.d"
+  "/root/repo/src/gmark/schema_generator.cc" "src/CMakeFiles/trilliong.dir/gmark/schema_generator.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/gmark/schema_generator.cc.o.d"
+  "/root/repo/src/model/seed_matrix.cc" "src/CMakeFiles/trilliong.dir/model/seed_matrix.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/model/seed_matrix.cc.o.d"
+  "/root/repo/src/numeric/double_double.cc" "src/CMakeFiles/trilliong.dir/numeric/double_double.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/numeric/double_double.cc.o.d"
+  "/root/repo/src/query/bfs.cc" "src/CMakeFiles/trilliong.dir/query/bfs.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/query/bfs.cc.o.d"
+  "/root/repo/src/query/csr_graph.cc" "src/CMakeFiles/trilliong.dir/query/csr_graph.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/query/csr_graph.cc.o.d"
+  "/root/repo/src/query/pagerank.cc" "src/CMakeFiles/trilliong.dir/query/pagerank.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/query/pagerank.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/trilliong.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/trilliong.dir/util/status.cc.o" "gcc" "src/CMakeFiles/trilliong.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

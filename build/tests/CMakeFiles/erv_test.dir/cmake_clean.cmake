@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erv_test.dir/erv_test.cc.o"
+  "CMakeFiles/erv_test.dir/erv_test.cc.o.d"
+  "erv_test"
+  "erv_test.pdb"
+  "erv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

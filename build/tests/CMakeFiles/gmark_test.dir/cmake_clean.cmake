@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmark_test.dir/gmark_test.cc.o"
+  "CMakeFiles/gmark_test.dir/gmark_test.cc.o.d"
+  "gmark_test"
+  "gmark_test.pdb"
+  "gmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recvec_n_test.dir/recvec_n_test.cc.o"
+  "CMakeFiles/recvec_n_test.dir/recvec_n_test.cc.o.d"
+  "recvec_n_test"
+  "recvec_n_test.pdb"
+  "recvec_n_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recvec_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recvec_test.dir/recvec_test.cc.o"
+  "CMakeFiles/recvec_test.dir/recvec_test.cc.o.d"
+  "recvec_test"
+  "recvec_test.pdb"
+  "recvec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
