@@ -28,6 +28,7 @@ constexpr std::uint64_t kBudgetBytes = 96ULL << 20;
 }  // namespace
 
 int main() {
+  tg::bench::ObsSession obs_session("bench_fig11a");
   tg::bench::Banner(
       "Figure 11(a): single-threaded methods, scales 14-19, 96 MiB budget",
       "Park & Kim, SIGMOD'17, Figure 11(a)",

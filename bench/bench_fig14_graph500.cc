@@ -33,6 +33,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  tg::bench::ObsSession obs_session("bench_fig14");
   tg::bench::Banner(
       "Figure 14: TrillionG (NSKG, CSR6) vs Graph500-style, 1 GbE vs "
       "InfiniBand",

@@ -2,9 +2,12 @@
 #define TRILLIONG_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "util/common.h"
 #include "util/stopwatch.h"
 
@@ -35,6 +38,53 @@ inline std::string TimeOrOom(const std::function<void()>& fn) {
   std::snprintf(buf, sizeof(buf), "%.3f", watch.ElapsedSeconds());
   return buf;
 }
+
+/// Opt-in observability hook shared by every figure bench. When the
+/// `TG_METRICS_JSON` environment variable is set, enables tg::obs for the
+/// lifetime of the session and writes a RunReport to that path on
+/// destruction; any `{name}` placeholder in the path is replaced with the
+/// bench name so one variable covers a whole `ctest`/script sweep:
+///
+///   TG_METRICS_JSON=/tmp/{name}.json ./bench_fig11b_distributed
+///
+/// Without the variable this is a no-op and the bench runs uninstrumented.
+class ObsSession {
+ public:
+  explicit ObsSession(const std::string& name) : name_(name) {
+    const char* pattern = std::getenv("TG_METRICS_JSON");
+    if (pattern == nullptr || pattern[0] == '\0') return;
+    path_ = pattern;
+    const std::size_t placeholder = path_.find("{name}");
+    if (placeholder != std::string::npos) {
+      path_.replace(placeholder, 6, name_);
+    }
+    obs::SetEnabled(true);
+    obs::PreregisterCanonicalMetrics();
+  }
+
+  ~ObsSession() {
+    if (path_.empty()) return;
+    obs::RunReport report = obs::RunReport::Collect(obs::Registry::Global());
+    report.meta["tool"] = name_;
+    Status status = report.WriteJsonFile(path_);
+    if (status.ok()) {
+      std::printf("metrics report written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", path_.c_str(),
+                   status.ToString().c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// True when a report will be written at exit.
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string name_;
+  std::string path_;
+};
 
 /// Human-readable byte count.
 inline std::string HumanBytes(std::uint64_t bytes) {

@@ -17,6 +17,9 @@
 #include "format/adj6.h"
 #include "format/csr6.h"
 #include "format/tsv.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -50,7 +53,10 @@ int main(int argc, char** argv) {
         "usage: %s --out=PREFIX [--scale=N] [--edge_factor=N] "
         "[--format=tsv|adj6|csr6] [--workers=N] [--noise=X] [--seed=N]\n"
         "       [--precision=double|dd] [--direction=out|in]\n"
-        "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n",
+        "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
+        "       [--metrics_json=PATH] [--metrics_table]\n"
+        "--metrics_json writes a structured tg::obs run report (JSON; see\n"
+        "docs/OBSERVABILITY.md); --metrics_table prints it human-readable.\n",
         flags.program_name().c_str());
     return 0;
   }
@@ -78,6 +84,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string metrics_json = flags.GetString("metrics_json", "");
+  const bool metrics_table = flags.GetBool("metrics_table", false);
+  const bool want_metrics = !metrics_json.empty() || metrics_table;
+  if (want_metrics) {
+    tg::obs::SetEnabled(true);
+    tg::obs::PreregisterCanonicalMetrics();
+  }
+
   std::printf("generating scale %d (|V|=%llu, |E|=%llu) as %s into %s.*\n",
               config.scale,
               static_cast<unsigned long long>(config.NumVertices()),
@@ -102,5 +116,33 @@ int main(int argc, char** argv) {
       stats.generate_seconds);
   std::printf("peak per-scope working set: %llu bytes\n",
               static_cast<unsigned long long>(stats.peak_scope_bytes));
+
+  if (want_metrics) {
+    tg::obs::RunReport report =
+        tg::obs::RunReport::Collect(tg::obs::Registry::Global());
+    report.meta["tool"] = "gen_cli";
+    report.meta["scale"] = std::to_string(config.scale);
+    report.meta["edge_factor"] = std::to_string(config.edge_factor);
+    report.meta["workers"] = std::to_string(config.num_workers);
+    report.meta["noise"] = std::to_string(config.noise);
+    report.meta["seed"] = std::to_string(config.rng_seed);
+    report.meta["format"] = format;
+    report.meta["precision"] =
+        config.precision == tg::core::Precision::kDoubleDouble ? "dd"
+                                                               : "double";
+    report.meta["direction"] = transposed ? "in" : "out";
+    report.meta["out"] = out;
+    report.meta["wall_seconds"] = std::to_string(watch.ElapsedSeconds());
+    if (metrics_table) std::fputs(report.ToTable().c_str(), stdout);
+    if (!metrics_json.empty()) {
+      tg::Status status = report.WriteJsonFile(metrics_json);
+      if (!status.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", metrics_json.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics report written to %s\n", metrics_json.c_str());
+    }
+  }
   return 0;
 }

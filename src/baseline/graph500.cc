@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "baseline/rmat.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "rng/random.h"
 #include "util/stopwatch.h"
 
@@ -50,6 +52,7 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
   // the phase takes when every worker has its own core) plus wire time.
   std::vector<std::vector<std::vector<Edge>>> outbox(workers);
   stats.generation_seconds = cluster->RunParallel([&](int w) {
+    TG_SPAN("g500.generate");
     rng::Rng rng(options.rng_seed, 2000 + static_cast<std::uint64_t>(w));
     auto& buckets = outbox[w];
     buckets.resize(workers);
@@ -93,6 +96,7 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
   // One CSR per machine (built by its first worker; Graph500's construction
   // is not the parallel-friendly part, which is the point of Figure 14(b)).
   double assembly_seconds = cluster->RunParallel([&](int w) {
+    TG_SPAN("g500.csr_assembly");
     const int leads = workers / machines;
     if (w % leads != 0) return;
     int machine = w / leads;
@@ -123,6 +127,8 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
   stats.construction_seconds =
       shuffle_cpu + assembly_seconds + stats.network_seconds;
   stats.peak_machine_bytes = cluster->MaxMachinePeakBytes();
+  obs::GetCounter("g500.edges_generated")->Add(stats.num_edges);
+  cluster->RecordMachineStats();
 
   for (int m = 0; m < machines; ++m) {
     MemoryBudget* budget = cluster->machine_budget(m);

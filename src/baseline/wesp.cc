@@ -4,6 +4,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "storage/external_sorter.h"
 #include "util/stopwatch.h"
 
@@ -39,6 +41,7 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
   const bool charge_buffers = !options.disk;
   std::vector<std::vector<std::vector<Edge>>> outbox(workers);
   stats.generate_seconds = cluster->RunParallel([&](int w) {
+    TG_SPAN("wesp.generate");
     rng::Rng rng(options.rng_seed, 1000 + static_cast<std::uint64_t>(w));
     auto& buckets = outbox[w];
     buckets.resize(workers);
@@ -87,6 +90,7 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
   std::atomic<std::uint64_t> unique_edges{0};
   std::atomic<std::uint64_t> spilled{0};
   stats.merge_seconds = cluster->RunParallel([&](int w) {
+    TG_SPAN("wesp.merge");
     EdgeConsumer consume =
         consumer_factory ? consumer_factory(w) : EdgeConsumer();
     std::uint64_t count = 0;
@@ -123,6 +127,9 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
   stats.num_edges = unique_edges.load();
   stats.spilled_bytes = spilled.load();
   stats.peak_machine_bytes = cluster->MaxMachinePeakBytes();
+  obs::GetCounter("wesp.edges_generated")->Add(stats.num_generated);
+  obs::GetCounter("wesp.edges_unique")->Add(stats.num_edges);
+  cluster->RecordMachineStats();
 
   // Release the remaining inbox registrations.
   for (int m = 0; m < cluster->num_machines(); ++m) {

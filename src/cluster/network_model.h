@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace tg::cluster {
 
 /// Cost model of the cluster interconnect. The paper's experiments use
@@ -24,6 +26,20 @@ struct NetworkModel {
   double TransferSeconds(std::uint64_t bytes, int messages = 1) const {
     return static_cast<double>(bytes) / bandwidth_bytes_per_sec +
            latency_seconds * messages;
+  }
+
+  /// Like TransferSeconds, but also books the charge into the global obs
+  /// registry (`net.charged_bytes`, `net.transfers`,
+  /// `net.simulated_seconds`) so run reports account every wire charge, not
+  /// just bulk shuffles. Use for point-to-point control traffic; SimCluster
+  /// records its collective shuffles itself (their duration is a max over
+  /// machines, not a sum of per-machine charges).
+  double ChargeTransfer(std::uint64_t bytes, int messages = 1) const {
+    double seconds = TransferSeconds(bytes, messages);
+    obs::GetCounter("net.charged_bytes")->Add(bytes);
+    obs::GetCounter("net.transfers")->Increment();
+    obs::GetGauge("net.simulated_seconds")->Add(seconds);
+    return seconds;
   }
 };
 

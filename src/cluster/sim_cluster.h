@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cluster/network_model.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/common.h"
 #include "util/memory_budget.h"
 #include "util/stopwatch.h"
@@ -75,6 +77,9 @@ class SimCluster {
     threads.reserve(n);
     for (int w = 0; w < n; ++w) {
       threads.emplace_back([&, w] {
+        // Tag the thread with its simulated machine so any spans opened by
+        // fn aggregate per machine.
+        obs::ScopedMachine machine_tag(MachineOfWorker(w));
         double start = ThreadCpuSeconds();
         try {
           fn(w);
@@ -102,6 +107,7 @@ class SimCluster {
   template <typename T>
   std::vector<std::vector<T>> Shuffle(
       std::vector<std::vector<std::vector<T>>>&& outbox) {
+    TG_SPAN("cluster.shuffle");
     const int n = num_workers();
     TG_CHECK(static_cast<int>(outbox.size()) == n);
     // Per-machine wire traffic.
@@ -139,7 +145,23 @@ class SimCluster {
     }
     network_seconds_ += seconds;
     shuffled_bytes_ += total_bytes;
+    obs::GetCounter("cluster.shuffled_bytes")->Add(total_bytes);
+    obs::GetGauge("net.simulated_seconds")->Add(seconds);
+    obs::GetCounter("net.transfers")->Increment();
     return inbox;
+  }
+
+  /// Folds per-machine peaks into the obs registry's machine table and the
+  /// `mem.peak_machine_bytes` gauge. Drivers call this once per run, after
+  /// the last phase.
+  void RecordMachineStats() const {
+    obs::Registry& registry = obs::Registry::Global();
+    for (int m = 0; m < num_machines(); ++m) {
+      registry.MaxMachineStat(
+          m, "peak_bytes", static_cast<double>(budgets_[m]->peak_bytes()));
+    }
+    obs::GetGauge("mem.peak_machine_bytes")
+        ->Max(static_cast<double>(MaxMachinePeakBytes()));
   }
 
   /// Simulated wall-clock spent on the wire so far.

@@ -5,6 +5,8 @@
 
 #include "core/avs_generator.h"
 #include "model/noise.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/stopwatch.h"
 
 namespace tg::cluster {
@@ -49,6 +51,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
       static_cast<double>(num_edges) / static_cast<double>(workers);
   std::vector<std::vector<Bin>> worker_bins(workers);
   stats.combine_seconds = cluster->RunParallel([&](int w) {
+    TG_SPAN("cluster.combine");
     VertexId begin =
         std::min<VertexId>(static_cast<VertexId>(w) * chunk, num_vertices);
     VertexId end = (w == workers - 1)
@@ -80,48 +83,53 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
     }
   }
   stats.control_bytes = gathered_bytes;
+  obs::GetCounter("cluster.control_bytes")->Add(gathered_bytes);
   stats.gather_scatter_seconds =
-      cluster->network().TransferSeconds(gathered_bytes, workers - 1);
+      cluster->network().ChargeTransfer(gathered_bytes, workers - 1);
 
   // --- Phase 3: repartition (master). Chunks are in vertex order, so the
   // concatenation is a sorted bin list; cut at cumulative-mass multiples.
-  Stopwatch master_watch;
-  double total_mass = 0;
-  for (const auto& bins : worker_bins) {
-    for (const Bin& b : bins) total_mass += b.mass;
-  }
   std::vector<VertexId> boundaries;
-  boundaries.reserve(workers + 1);
-  boundaries.push_back(0);
-  double cum = 0;
-  int next_cut = 1;
-  for (const auto& bins : worker_bins) {
-    for (const Bin& b : bins) {
-      cum += b.mass;
-      while (next_cut < workers && cum >= total_mass * next_cut / workers) {
-        boundaries.push_back(b.end);
-        ++next_cut;
+  {
+    Stopwatch master_watch;
+    TG_SPAN("cluster.repartition");
+    double total_mass = 0;
+    for (const auto& bins : worker_bins) {
+      for (const Bin& b : bins) total_mass += b.mass;
+    }
+    boundaries.reserve(workers + 1);
+    boundaries.push_back(0);
+    double cum = 0;
+    int next_cut = 1;
+    for (const auto& bins : worker_bins) {
+      for (const Bin& b : bins) {
+        cum += b.mass;
+        while (next_cut < workers && cum >= total_mass * next_cut / workers) {
+          boundaries.push_back(b.end);
+          ++next_cut;
+        }
       }
     }
-  }
-  while (static_cast<int>(boundaries.size()) < workers) {
+    while (static_cast<int>(boundaries.size()) < workers) {
+      boundaries.push_back(num_vertices);
+    }
     boundaries.push_back(num_vertices);
+    for (std::size_t i = 1; i < boundaries.size(); ++i) {
+      boundaries[i] = std::max(boundaries[i], boundaries[i - 1]);
+    }
+    stats.repartition_seconds = master_watch.ElapsedSeconds();
   }
-  boundaries.push_back(num_vertices);
-  for (std::size_t i = 1; i < boundaries.size(); ++i) {
-    boundaries[i] = std::max(boundaries[i], boundaries[i - 1]);
-  }
-  stats.repartition_seconds = master_watch.ElapsedSeconds();
 
   // --- Phase 4: scatter (boundaries: workers * 8 bytes, negligible but
   // accounted) + generation under the recursive vector model.
-  stats.gather_scatter_seconds += cluster->network().TransferSeconds(
+  stats.gather_scatter_seconds += cluster->network().ChargeTransfer(
       static_cast<std::uint64_t>(workers) * sizeof(VertexId), workers - 1);
 
   const rng::Rng root(config.rng_seed, /*stream=*/1);
   std::vector<core::AvsWorkerStats> worker_stats(workers);
   auto run_generation = [&]<typename Real>() {
     return cluster->RunParallel([&](int w) {
+      TG_SPAN("avs.generate");
       core::AvsRangeGenerator<Real> generator(
           &noise, num_edges, config.determiner, cluster->worker_budget(w),
           config.exclude_self_loops);
@@ -145,7 +153,11 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   stats.generate.max_degree = merged.max_degree;
   stats.generate.peak_scope_bytes = merged.peak_scope_bytes;
   stats.generate.rec_vec_builds = merged.rec_vec_builds;
+  stats.generate.cdf_evaluations = merged.cdf_evaluations;
   stats.peak_machine_bytes = cluster->MaxMachinePeakBytes();
+  core::RecordAvsStats(merged);
+  obs::GetGauge("avs.recvec_levels")->Set(static_cast<double>(scale));
+  cluster->RecordMachineStats();
   return stats;
 }
 

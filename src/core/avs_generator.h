@@ -10,6 +10,7 @@
 #include "core/scope_sink.h"
 #include "core/scope_size.h"
 #include "model/noise.h"
+#include "obs/metrics.h"
 #include "rng/random.h"
 #include "util/flat_set64.h"
 #include "util/memory_budget.h"
@@ -23,6 +24,9 @@ struct AvsWorkerStats {
   std::uint64_t max_degree = 0;       ///< realized d_max in this range
   std::uint64_t peak_scope_bytes = 0; ///< peak working-set (the O(d_max) term)
   std::uint64_t rec_vec_builds = 0;   ///< RecVec constructions (ablation stat)
+  /// CDF inversions attempted (Theorem 2 determinations, counting
+  /// rejection-loop retries) — the per-edge work unit of Table 1.
+  std::uint64_t cdf_evaluations = 0;
 
   void MergeFrom(const AvsWorkerStats& o) {
     num_edges += o.num_edges;
@@ -30,8 +34,23 @@ struct AvsWorkerStats {
     max_degree = std::max(max_degree, o.max_degree);
     peak_scope_bytes = std::max(peak_scope_bytes, o.peak_scope_bytes);
     rec_vec_builds += o.rec_vec_builds;
+    cdf_evaluations += o.cdf_evaluations;
   }
 };
+
+/// Folds a merged per-run AvsWorkerStats into the global obs registry under
+/// the canonical `avs.*` metric names (docs/OBSERVABILITY.md). Called once
+/// per run by the in-process and cluster drivers.
+inline void RecordAvsStats(const AvsWorkerStats& merged) {
+  obs::GetCounter("avs.edges_generated")->Add(merged.num_edges);
+  obs::GetCounter("avs.scopes_generated")->Add(merged.num_scopes);
+  obs::GetCounter("avs.recvec_builds")->Add(merged.rec_vec_builds);
+  obs::GetCounter("avs.cdf_evaluations")->Add(merged.cdf_evaluations);
+  obs::GetGauge("avs.max_degree")
+      ->Max(static_cast<double>(merged.max_degree));
+  obs::GetGauge("mem.peak_scope_bytes")
+      ->Max(static_cast<double>(merged.peak_scope_bytes));
+}
 
 /// Generates all scopes of a contiguous vertex range following the recursive
 /// vector model (Algorithm 4). One instance per worker; scope RNG streams
@@ -53,7 +72,12 @@ class AvsRangeGenerator {
         opts_(opts),
         budget_(budget),
         num_vertices_(VertexId{1} << noise->levels()),
-        exclude_self_loops_(exclude_self_loops) {}
+        exclude_self_loops_(exclude_self_loops),
+        // Per-scope histogram observations only happen under an active
+        // report; otherwise the generator carries a null pointer and the
+        // hot loop pays a single predictable branch.
+        degree_hist_(obs::Enabled() ? obs::GetHistogram("avs.scope_degree")
+                                    : nullptr) {}
 
   /// Runs Algorithm 4 over scopes [lo, hi). `root` is the graph-level RNG
   /// (forked per scope). Scopes are delivered to `sink` in increasing vertex
@@ -102,6 +126,7 @@ class AvsRangeGenerator {
     const std::uint64_t max_attempts = 100 * degree + 10000;
     std::uint64_t attempts = 0;
     auto draw_destination = [&]() -> VertexId {
+      ++stats->cdf_evaluations;
       if (opts_.reuse_rec_vec) {
         Real x = NextUniformReal<Real>(&rng, rv->Total());
         return DetermineEdgeWithOptions(*rv, x, &rng, opts_);
@@ -132,6 +157,7 @@ class AvsRangeGenerator {
     stats->num_edges += adj->size();
     stats->num_scopes += 1;
     stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj->size());
+    if (degree_hist_ != nullptr) degree_hist_->Observe(adj->size());
     sink->ConsumeScope(u, adj->data(), adj->size());
   }
 
@@ -147,6 +173,7 @@ class AvsRangeGenerator {
   MemoryBudget* budget_;
   VertexId num_vertices_;
   bool exclude_self_loops_;
+  obs::Histogram* degree_hist_;
 };
 
 }  // namespace tg::core

@@ -7,6 +7,8 @@
 
 #include "core/avs_generator.h"
 #include "core/partitioner.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/stopwatch.h"
 
 namespace tg::core {
@@ -35,11 +37,14 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   Stopwatch watch;
 
   const model::NoiseVector noise = MakeNoise(config);
-  const std::vector<VertexId> boundaries =
-      PartitionByCdf(noise, config.num_workers);
+  const std::vector<VertexId> boundaries = [&] {
+    TG_SPAN("partition");
+    return PartitionByCdf(noise, config.num_workers);
+  }();
   stats.partition_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
+  TG_SPAN("generate");
   const rng::Rng root(config.rng_seed, /*stream=*/1);
   AvsRangeGenerator<Real> generator(&noise, config.NumEdges(),
                                     config.determiner, config.budget,
@@ -50,6 +55,10 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   std::vector<double> worker_cpu(config.num_workers, 0.0);
 
   auto run_worker = [&](int w) {
+    // In-process runs tag each worker as its own simulated machine, so span
+    // and stat breakdowns line up with the cluster driver's.
+    obs::ScopedMachine machine_tag(w);
+    TG_SPAN("avs.generate");
     double cpu_start = ThreadCpuSeconds();
     try {
       VertexId lo = boundaries[w];
@@ -86,9 +95,19 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   stats.max_degree = merged.max_degree;
   stats.peak_scope_bytes = merged.peak_scope_bytes;
   stats.rec_vec_builds = merged.rec_vec_builds;
+  stats.cdf_evaluations = merged.cdf_evaluations;
   stats.generate_seconds = watch.ElapsedSeconds();
   for (double cpu : worker_cpu) {
     stats.max_worker_cpu_seconds = std::max(stats.max_worker_cpu_seconds, cpu);
+  }
+  RecordAvsStats(merged);
+  obs::GetGauge("avs.recvec_levels")
+      ->Set(static_cast<double>(noise.levels()));
+  for (int w = 0; w < config.num_workers; ++w) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.MaxMachineStat(w, "peak_scope_bytes",
+                       static_cast<double>(worker_stats[w].peak_scope_bytes));
+    reg.MaxMachineStat(w, "cpu_seconds", worker_cpu[w]);
   }
   return stats;
 }

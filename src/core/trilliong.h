@@ -60,6 +60,8 @@ struct GenerateStats {
   /// Peak per-scope working set over all workers — the O(d_max) bytes.
   std::uint64_t peak_scope_bytes = 0;
   std::uint64_t rec_vec_builds = 0;
+  /// CDF inversions attempted, counting rejection-loop retries.
+  std::uint64_t cdf_evaluations = 0;
   double partition_seconds = 0.0;
   /// Wall-clock of the generation phase on this host.
   double generate_seconds = 0.0;

@@ -1,5 +1,7 @@
 #include "format/adj6.h"
 
+#include "obs/metrics.h"
+
 namespace tg::format {
 
 Adj6Writer::Adj6Writer(const std::string& path) { writer_.Open(path); }
@@ -12,7 +14,10 @@ void Adj6Writer::ConsumeScope(VertexId u, const VertexId* adj,
   for (std::size_t i = 0; i < n; ++i) writer_.Append48(adj[i]);
 }
 
-void Adj6Writer::Finish() { writer_.Close(); }
+void Adj6Writer::Finish() {
+  writer_.Close();
+  obs::GetCounter("format.adj6.bytes_written")->Add(writer_.bytes_written());
+}
 
 Adj6Reader::Adj6Reader(const std::string& path) {
   status_ = reader_.Open(path);

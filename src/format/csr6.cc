@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/file_io.h"
 
 namespace tg::format {
@@ -95,6 +96,7 @@ void Csr6Writer::Finish() {
     status_ = Status::IoError("close failed: " + path_);
   }
   file_ = nullptr;
+  obs::GetCounter("format.csr6.bytes_written")->Add(bytes_written_);
 }
 
 Csr6Reader::Csr6Reader(const std::string& path) {

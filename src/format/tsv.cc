@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace tg::format {
 
 namespace {
@@ -43,7 +45,10 @@ void TsvWriter::ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) {
   }
 }
 
-void TsvWriter::Finish() { writer_.Close(); }
+void TsvWriter::Finish() {
+  writer_.Close();
+  obs::GetCounter("format.tsv.bytes_written")->Add(writer_.bytes_written());
+}
 
 TsvReader::TsvReader(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");

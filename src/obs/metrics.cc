@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+namespace tg::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int last_nonzero = -1;
+  std::vector<std::uint64_t> buckets(kNumBuckets, 0);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += buckets[i];
+    if (buckets[i] != 0) last_nonzero = i;
+  }
+  buckets.resize(last_nonzero + 1);
+  snap.buckets = std::move(buckets);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t c = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    c += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // intentionally leaked
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::RecordSpan(const std::string& path, int machine,
+                          double wall_seconds, double cpu_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& stats = spans_[{path, machine}];
+  stats.count += 1;
+  stats.wall_seconds += wall_seconds;
+  stats.cpu_seconds += cpu_seconds;
+}
+
+void Registry::SetMachineStat(int machine, const std::string& key,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  machines_[machine][key] = value;
+}
+
+void Registry::MaxMachineStat(int machine, const std::string& key,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double& slot = machines_[machine][key];
+  if (value > slot) slot = value;
+}
+
+std::map<std::string, std::uint64_t> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> Registry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist->Snapshot();
+  return out;
+}
+
+std::map<std::pair<std::string, int>, SpanStats> Registry::SpanValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<int, std::map<std::string, double>> Registry::MachineStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machines_;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+  spans_.clear();
+  machines_.clear();
+}
+
+void PreregisterCanonicalMetrics() {
+  Registry& r = Registry::Global();
+  // Generation (core/avs_generator*, core/trilliong.cc).
+  r.GetCounter("avs.edges_generated");
+  r.GetCounter("avs.scopes_generated");
+  r.GetCounter("avs.recvec_builds");
+  r.GetCounter("avs.cdf_evaluations");
+  r.GetGauge("avs.recvec_levels");
+  r.GetGauge("avs.max_degree");
+  r.GetGauge("mem.peak_scope_bytes");
+  // Simulated cluster (cluster/sim_cluster.h, cluster/network_model.h).
+  r.GetCounter("cluster.shuffled_bytes");
+  r.GetCounter("cluster.control_bytes");
+  r.GetCounter("net.transfers");
+  r.GetCounter("net.charged_bytes");
+  r.GetGauge("net.simulated_seconds");
+  r.GetGauge("mem.peak_machine_bytes");
+  // External sort (storage/external_sorter.h).
+  r.GetCounter("sort.records_added");
+  r.GetCounter("sort.records_delivered");
+  r.GetCounter("sort.runs_spilled");
+  r.GetCounter("sort.bytes_spilled");
+  r.GetCounter("sort.merge_passes");
+  // Output formats (format/).
+  r.GetCounter("format.tsv.bytes_written");
+  r.GetCounter("format.adj6.bytes_written");
+  r.GetCounter("format.csr6.bytes_written");
+}
+
+}  // namespace tg::obs

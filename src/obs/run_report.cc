@@ -1,0 +1,527 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "storage/file_io.h"
+
+namespace tg::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing. The report is the only producer, so the writer is a handful
+// of append helpers rather than a general serializer.
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  // %.17g round-trips IEEE doubles exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no inf/nan; clamp to null-free sentinels.
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+    *out += "0";
+    return;
+  }
+  *out += buf;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing — just enough to read ToJson() output back (and any JSON
+// whose values fit the schema; unknown keys are skipped structurally).
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  bool failed = false;
+
+  void Fail() { failed = true; }
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (failed || p >= end || *p != c) return false;
+    ++p;
+    return true;
+  }
+
+  char Peek() {
+    SkipWs();
+    return (failed || p >= end) ? '\0' : *p;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      Fail();
+      return false;
+    }
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\' && p < end) {
+        char esc = *p++;
+        switch (esc) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'u': {
+            if (end - p < 4) {
+              Fail();
+              return false;
+            }
+            char hex[5] = {p[0], p[1], p[2], p[3], 0};
+            out->push_back(
+                static_cast<char>(std::strtoul(hex, nullptr, 16) & 0xFF));
+            p += 4;
+            break;
+          }
+          default:
+            out->push_back(esc);  // covers \" \\ \/
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (p >= end) {
+      Fail();
+      return false;
+    }
+    ++p;  // closing quote
+    return true;
+  }
+
+  /// Parses a number; exact for 64-bit unsigned integers.
+  bool ParseNumber(double* as_double, std::uint64_t* as_u64, bool* integral) {
+    SkipWs();
+    const char* start = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    bool is_int = true;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                       *p == '+')) {
+      if (*p == '.' || *p == 'e' || *p == 'E') is_int = false;
+      ++p;
+    }
+    if (p == start) {
+      Fail();
+      return false;
+    }
+    std::string text(start, p);
+    *as_double = std::strtod(text.c_str(), nullptr);
+    *as_u64 = is_int && text[0] != '-'
+                  ? std::strtoull(text.c_str(), nullptr, 10)
+                  : static_cast<std::uint64_t>(*as_double);
+    *integral = is_int;
+    return true;
+  }
+
+  /// Skips any JSON value (for unknown keys).
+  void SkipValue() {
+    char c = Peek();
+    if (failed) return;
+    if (c == '{' || c == '[') {
+      char open = c;
+      char close = (c == '{') ? '}' : ']';
+      ++p;
+      int depth = 1;
+      while (p < end && depth > 0) {
+        if (*p == '"') {
+          std::string ignored;
+          ParseString(&ignored);
+          continue;
+        }
+        if (*p == open) ++depth;
+        if (*p == close) --depth;
+        ++p;
+      }
+      if (depth != 0) Fail();
+    } else if (c == '"') {
+      std::string ignored;
+      ParseString(&ignored);
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (p < end && std::isalpha(static_cast<unsigned char>(*p))) ++p;
+    } else {
+      double d;
+      std::uint64_t u;
+      bool i;
+      ParseNumber(&d, &u, &i);
+    }
+  }
+
+  /// Iterates "key": value pairs of an object; calls fn(key) positioned at
+  /// the value, which fn must fully consume.
+  template <typename Fn>
+  bool ParseObject(const Fn& fn) {
+    if (!Consume('{')) {
+      Fail();
+      return false;
+    }
+    if (Consume('}')) return true;
+    do {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) {
+        Fail();
+        return false;
+      }
+      fn(key);
+      if (failed) return false;
+    } while (Consume(','));
+    if (!Consume('}')) {
+      Fail();
+      return false;
+    }
+    return true;
+  }
+
+  /// Iterates array elements; fn is called positioned at each element.
+  template <typename Fn>
+  bool ParseArray(const Fn& fn) {
+    if (!Consume('[')) {
+      Fail();
+      return false;
+    }
+    if (Consume(']')) return true;
+    do {
+      fn();
+      if (failed) return false;
+    } while (Consume(','));
+    if (!Consume(']')) {
+      Fail();
+      return false;
+    }
+    return true;
+  }
+
+  double ParseDouble() {
+    double d = 0;
+    std::uint64_t u;
+    bool i;
+    ParseNumber(&d, &u, &i);
+    return d;
+  }
+
+  std::uint64_t ParseU64() {
+    double d;
+    std::uint64_t u = 0;
+    bool i;
+    ParseNumber(&d, &u, &i);
+    return u;
+  }
+};
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4f", s);
+  return buf;
+}
+
+}  // namespace
+
+RunReport RunReport::Collect(const Registry& registry) {
+  RunReport report;
+  report.counters = registry.CounterValues();
+  report.gauges = registry.GaugeValues();
+  report.histograms = registry.HistogramValues();
+  report.machines = registry.MachineStats();
+  for (const auto& [key, stats] : registry.SpanValues()) {
+    report.spans.push_back(
+        {key.first, key.second, stats.count, stats.wall_seconds,
+         stats.cpu_seconds});
+  }
+  return report;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out;
+  out += "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(key, &out);
+    out += ": ";
+    AppendEscaped(value, &out);
+  }
+  out += "\n  },\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(name, &out);
+    out += ": ";
+    AppendU64(value, &out);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(name, &out);
+    out += ": ";
+    AppendDouble(value, &out);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(name, &out);
+    out += ": {\"count\": ";
+    AppendU64(h.count, &out);
+    out += ", \"sum\": ";
+    AppendU64(h.sum, &out);
+    out += ", \"min\": ";
+    AppendU64(h.min, &out);
+    out += ", \"max\": ";
+    AppendU64(h.max, &out);
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendU64(h.buckets[i], &out);
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"spans\": [";
+  first = true;
+  for (const SpanRow& row : spans) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"path\": ";
+    AppendEscaped(row.path, &out);
+    out += ", \"machine\": ";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", row.machine);
+    out += buf;
+    out += ", \"count\": ";
+    AppendU64(row.count, &out);
+    out += ", \"wall_seconds\": ";
+    AppendDouble(row.wall_seconds, &out);
+    out += ", \"cpu_seconds\": ";
+    AppendDouble(row.cpu_seconds, &out);
+    out += "}";
+  }
+  out += "\n  ],\n  \"machines\": [";
+  first = true;
+  for (const auto& [machine, stats] : machines) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"machine\": ";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", machine);
+    out += buf;
+    for (const auto& [key, value] : stats) {
+      out += ", ";
+      AppendEscaped(key, &out);
+      out += ": ";
+      AppendDouble(value, &out);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Status RunReport::FromJson(const std::string& json, RunReport* out) {
+  *out = RunReport();
+  Cursor cur{json.data(), json.data() + json.size()};
+
+  cur.ParseObject([&](const std::string& section) {
+    if (section == "meta") {
+      cur.ParseObject([&](const std::string& key) {
+        std::string value;
+        cur.ParseString(&value);
+        out->meta[key] = value;
+      });
+    } else if (section == "counters") {
+      cur.ParseObject(
+          [&](const std::string& key) { out->counters[key] = cur.ParseU64(); });
+    } else if (section == "gauges") {
+      cur.ParseObject(
+          [&](const std::string& key) { out->gauges[key] = cur.ParseDouble(); });
+    } else if (section == "histograms") {
+      cur.ParseObject([&](const std::string& name) {
+        HistogramSnapshot h;
+        cur.ParseObject([&](const std::string& field) {
+          if (field == "count") {
+            h.count = cur.ParseU64();
+          } else if (field == "sum") {
+            h.sum = cur.ParseU64();
+          } else if (field == "min") {
+            h.min = cur.ParseU64();
+          } else if (field == "max") {
+            h.max = cur.ParseU64();
+          } else if (field == "buckets") {
+            cur.ParseArray([&] { h.buckets.push_back(cur.ParseU64()); });
+          } else {
+            cur.SkipValue();
+          }
+        });
+        out->histograms[name] = std::move(h);
+      });
+    } else if (section == "spans") {
+      cur.ParseArray([&] {
+        SpanRow row;
+        cur.ParseObject([&](const std::string& field) {
+          if (field == "path") {
+            cur.ParseString(&row.path);
+          } else if (field == "machine") {
+            row.machine = static_cast<int>(cur.ParseDouble());
+          } else if (field == "count") {
+            row.count = cur.ParseU64();
+          } else if (field == "wall_seconds") {
+            row.wall_seconds = cur.ParseDouble();
+          } else if (field == "cpu_seconds") {
+            row.cpu_seconds = cur.ParseDouble();
+          } else {
+            cur.SkipValue();
+          }
+        });
+        out->spans.push_back(std::move(row));
+      });
+    } else if (section == "machines") {
+      cur.ParseArray([&] {
+        int machine = -1;
+        std::map<std::string, double> stats;
+        cur.ParseObject([&](const std::string& field) {
+          if (field == "machine") {
+            machine = static_cast<int>(cur.ParseDouble());
+          } else {
+            stats[field] = cur.ParseDouble();
+          }
+        });
+        out->machines[machine] = std::move(stats);
+      });
+    } else {
+      cur.SkipValue();
+    }
+  });
+
+  if (cur.failed) {
+    return Status::Corruption("malformed run report JSON");
+  }
+  return Status::Ok();
+}
+
+std::string RunReport::ToTable() const {
+  std::ostringstream out;
+  out << "== run report ==\n";
+  if (!meta.empty()) {
+    out << "-- meta --\n";
+    for (const auto& [key, value] : meta) {
+      out << "  " << key << " = " << value << "\n";
+    }
+  }
+  out << "-- counters --\n";
+  for (const auto& [name, value] : counters) {
+    out << "  " << name;
+    for (std::size_t i = name.size(); i < 34; ++i) out << ' ';
+    out << value << "\n";
+  }
+  out << "-- gauges --\n";
+  for (const auto& [name, value] : gauges) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out << "  " << name;
+    for (std::size_t i = name.size(); i < 34; ++i) out << ' ';
+    out << buf << "\n";
+  }
+  if (!histograms.empty()) {
+    out << "-- histograms (log2 buckets) --\n";
+    for (const auto& [name, h] : histograms) {
+      double mean = h.count == 0
+                        ? 0.0
+                        : static_cast<double>(h.sum) /
+                              static_cast<double>(h.count);
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "count=%" PRIu64 " min=%" PRIu64 " mean=%.1f max=%" PRIu64,
+                    h.count, h.min, mean, h.max);
+      out << "  " << name << ": " << buf << "\n";
+    }
+  }
+  if (!spans.empty()) {
+    out << "-- spans (aggregated; wall / cpu seconds) --\n";
+    for (const SpanRow& row : spans) {
+      out << "  " << row.path;
+      if (row.machine >= 0) out << " [m" << row.machine << "]";
+      out << "  x" << row.count << "  wall=" << FormatSeconds(row.wall_seconds)
+          << "  cpu=" << FormatSeconds(row.cpu_seconds) << "\n";
+    }
+  }
+  if (!machines.empty()) {
+    out << "-- machines --\n";
+    for (const auto& [machine, stats] : machines) {
+      out << "  machine " << machine << ":";
+      for (const auto& [key, value] : stats) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s=%.6g", key.c_str(), value);
+        out << buf;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status RunReport::WriteJsonFile(const std::string& path) const {
+  storage::FileWriter writer;
+  Status s = writer.Open(path);
+  if (!s.ok()) return s;
+  std::string json = ToJson();
+  writer.Append(json.data(), json.size());
+  return writer.Close();
+}
+
+}  // namespace tg::obs

@@ -1,0 +1,56 @@
+// obs/run_report.h — the end-of-run serialization of everything the
+// obs::Registry collected: counters, gauges, histograms, trace spans, and
+// the per-simulated-machine stat table, plus free-form metadata describing
+// the run configuration. One report reproduces one figure data point; the
+// JSON schema is documented in docs/OBSERVABILITY.md.
+#ifndef TRILLIONG_OBS_RUN_REPORT_H_
+#define TRILLIONG_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tg::obs {
+
+struct RunReport {
+  /// One aggregated trace-span row (path + simulated machine tag).
+  struct SpanRow {
+    std::string path;
+    int machine = -1;  ///< -1: recorded on an untagged thread
+    std::uint64_t count = 0;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+  };
+
+  /// Free-form run description (scale, edge_factor, workers, format, ...).
+  std::map<std::string, std::string> meta;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanRow> spans;  ///< sorted by (path, machine)
+  /// machine id -> stat key -> value (peak_bytes, cpu_seconds, ...).
+  std::map<int, std::map<std::string, double>> machines;
+
+  /// Snapshots the registry. Counters/gauges/histograms/spans/machines are
+  /// filled; `meta` is left for the caller.
+  static RunReport Collect(const Registry& registry = Registry::Global());
+
+  /// Stable, pretty-printed JSON (schema in docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+
+  /// Parses ToJson() output back into a report (unknown keys are skipped).
+  static Status FromJson(const std::string& json, RunReport* out);
+
+  /// Human-readable multi-section table for terminal output.
+  std::string ToTable() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace tg::obs
+
+#endif  // TRILLIONG_OBS_RUN_REPORT_H_

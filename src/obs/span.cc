@@ -1,0 +1,61 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace tg::obs {
+
+namespace {
+
+thread_local std::vector<const char*> t_span_stack;
+thread_local int t_machine = -1;
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JoinStack() {
+  std::string path;
+  for (const char* name : t_span_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace
+
+ScopedMachine::ScopedMachine(int machine) : saved_(t_machine) {
+  t_machine = machine;
+}
+
+ScopedMachine::~ScopedMachine() { t_machine = saved_; }
+
+int CurrentMachine() { return t_machine; }
+
+Span::Span(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  t_span_stack.push_back(name_);
+  wall_start_ = WallSeconds();
+  cpu_start_ = ThreadCpuSeconds();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  double wall = WallSeconds() - wall_start_;
+  double cpu = ThreadCpuSeconds() - cpu_start_;
+  std::string path = JoinStack();
+  // Pop only our own frame; TG_SPAN scoping guarantees LIFO order per thread.
+  if (!t_span_stack.empty() && t_span_stack.back() == name_) {
+    t_span_stack.pop_back();
+  }
+  Registry::Global().RecordSpan(path, t_machine, wall, cpu);
+}
+
+}  // namespace tg::obs

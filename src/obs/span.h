@@ -1,0 +1,61 @@
+// obs/span.h — RAII trace spans. TG_SPAN("avs.generate") measures the wall
+// and thread-CPU time of the enclosing block; spans on the same thread nest,
+// and each completed occurrence is aggregated per (slash-joined path,
+// simulated machine) into the obs::Registry. When observability is disabled
+// (obs::Enabled() == false) a span costs one relaxed atomic load and touches
+// no clock.
+#ifndef TRILLIONG_OBS_SPAN_H_
+#define TRILLIONG_OBS_SPAN_H_
+
+#include "obs/metrics.h"
+
+namespace tg::obs {
+
+/// Tags the current thread with a simulated machine id so spans (and
+/// phase-boundary stats) can be broken down per machine. SimCluster
+/// installs one per worker thread; -1 means untagged. Restores the previous
+/// tag on destruction, so nesting works.
+class ScopedMachine {
+ public:
+  explicit ScopedMachine(int machine);
+  ~ScopedMachine();
+
+  ScopedMachine(const ScopedMachine&) = delete;
+  ScopedMachine& operator=(const ScopedMachine&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// The machine tag of the calling thread (-1 when untagged).
+int CurrentMachine();
+
+/// One timed section. Span paths are per thread: a span opened on a worker
+/// thread does not nest under spans of the spawning thread.
+class Span {
+ public:
+  /// `name` must be a string literal (or otherwise outlive the span); names
+  /// must not contain '/'.
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  bool active_ = false;
+  double wall_start_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace tg::obs
+
+#define TG_OBS_CONCAT_INNER(a, b) a##b
+#define TG_OBS_CONCAT(a, b) TG_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope.
+#define TG_SPAN(name) \
+  ::tg::obs::Span TG_OBS_CONCAT(tg_obs_span_, __LINE__)(name)
+
+#endif  // TRILLIONG_OBS_SPAN_H_

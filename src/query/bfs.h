@@ -1,3 +1,7 @@
+// query/bfs.h — breadth-first search over a CsrGraph plus the Graph500-style
+// checks (parent-tree validation, traversed-edge counting for TEPS). Proves
+// generated graphs are loadable and traversable end to end; used by
+// examples/graph500_pipeline and bench_fig14.
 #ifndef TRILLIONG_QUERY_BFS_H_
 #define TRILLIONG_QUERY_BFS_H_
 

@@ -1,3 +1,7 @@
+// query/components.h — connected components via union-find with path
+// halving, treating edges as undirected. Component counts/sizes feed the
+// structural sanity checks on generated graphs (scale-free graphs should
+// have one giant component plus dust).
 #ifndef TRILLIONG_QUERY_COMPONENTS_H_
 #define TRILLIONG_QUERY_COMPONENTS_H_
 

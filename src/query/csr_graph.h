@@ -1,3 +1,6 @@
+// query/csr_graph.h — in-memory compressed-sparse-row graph, loadable from
+// the on-disk formats (TSV/ADJ6/CSR6 shards). The common input of the query
+// kernels (BFS, PageRank, components) and the analysis passes.
 #ifndef TRILLIONG_QUERY_CSR_GRAPH_H_
 #define TRILLIONG_QUERY_CSR_GRAPH_H_
 

@@ -1,3 +1,6 @@
+// query/pagerank.h — power-iteration PageRank over a CsrGraph with uniform
+// teleport and dangling-mass redistribution; iterates to an L1 tolerance.
+// A second "real workload" consumer of generated graphs alongside BFS.
 #ifndef TRILLIONG_QUERY_PAGERANK_H_
 #define TRILLIONG_QUERY_PAGERANK_H_
 

@@ -1,3 +1,8 @@
+// storage/external_sorter.h — disk-backed K-way merge sort of POD records
+// with optional duplicate elimination: the external-memory substrate behind
+// the RMAT-disk and WES/p-disk baselines. Spills sorted runs to temp files
+// and streams the merged (optionally deduplicated) sequence through a
+// callback; reports runs written / bytes spilled / merge passes to tg::obs.
 #ifndef TRILLIONG_STORAGE_EXTERNAL_SORTER_H_
 #define TRILLIONG_STORAGE_EXTERNAL_SORTER_H_
 
@@ -9,6 +14,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "storage/file_io.h"
 #include "util/common.h"
 
@@ -64,6 +71,9 @@ class ExternalSorter {
   /// number of records delivered. The sorter is consumed: Add() must not be
   /// called afterwards.
   std::uint64_t Merge(bool dedup, const std::function<void(const T&)>& fn) {
+    TG_SPAN("sort.merge");
+    obs::GetCounter("sort.merge_passes")->Increment();
+    obs::GetCounter("sort.records_added")->Add(num_added_);
     std::sort(buffer_.begin(), buffer_.end(), Less());
 
     // Open one cursor per run file.
@@ -120,6 +130,7 @@ class ExternalSorter {
         heap.push(src);
       }
     }
+    obs::GetCounter("sort.records_delivered")->Add(delivered);
     return delivered;
   }
 
@@ -132,6 +143,8 @@ class ExternalSorter {
     TG_CHECK_MSG(writer.Open(path).ok(), "cannot create run file " << path);
     writer.Append(buffer_.data(), buffer_.size() * sizeof(T));
     bytes_spilled_ += buffer_.size() * sizeof(T);
+    obs::GetCounter("sort.runs_spilled")->Increment();
+    obs::GetCounter("sort.bytes_spilled")->Add(buffer_.size() * sizeof(T));
     TG_CHECK_MSG(writer.Close().ok(), "spill failed for " << path);
     run_paths_.push_back(std::move(path));
     buffer_.clear();

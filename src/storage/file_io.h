@@ -1,3 +1,7 @@
+// storage/file_io.h — buffered sequential FileReader/FileWriter over stdio,
+// returning tg::Status instead of throwing. The byte transport beneath every
+// format writer (TSV/ADJ6/CSR6), the external sorter's run files, and the
+// obs::RunReport JSON output.
 #ifndef TRILLIONG_STORAGE_FILE_IO_H_
 #define TRILLIONG_STORAGE_FILE_IO_H_
 

@@ -1,3 +1,6 @@
+// storage/temp_dir.h — RAII scratch directory under the system temp root,
+// recursively deleted on destruction. Used by the external sorter's spill
+// runs and by tests that need throwaway graph files.
 #ifndef TRILLIONG_STORAGE_TEMP_DIR_H_
 #define TRILLIONG_STORAGE_TEMP_DIR_H_
 

@@ -11,10 +11,13 @@ FlagParser::FlagParser(int argc, char** argv) {
     if (arg.rfind("--", 0) == 0) {
       std::string body = arg.substr(2);
       std::size_t eq = body.find('=');
-      if (eq == std::string::npos) {
-        flags_[body] = "true";
-      } else {
+      if (eq != std::string::npos) {
         flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // `--key value`: the next non-flag token is the value.
+        flags_[body] = argv[++i];
+      } else {
+        flags_[body] = "true";
       }
     } else {
       positional_.push_back(arg);

@@ -8,8 +8,12 @@
 
 namespace tg {
 
-/// Minimal `--key=value` / `--flag` command-line parser for the example
-/// binaries. Unrecognized positional arguments are collected in order.
+/// Minimal command-line parser for the example binaries. Accepts
+/// `--key=value`, `--key value` (the next non-flag token becomes the value),
+/// and bare `--flag` (value "true"). Because `--flag token` binds greedily,
+/// boolean flags followed by a positional argument must use the `=` form
+/// (`--flag=true positional`); remaining non-flag tokens are collected in
+/// order as positionals.
 class FlagParser {
  public:
   FlagParser(int argc, char** argv);

@@ -139,7 +139,7 @@ TEST(StatusTest, ErrorCarriesMessage) {
 
 TEST(FlagParserTest, ParsesKeyValueAndBooleans) {
   const char* argv[] = {"prog",          "--scale=20",    "--format=adj6",
-                        "--verbose",     "positional1",   "--ratio=0.5",
+                        "positional1",   "--verbose",     "--ratio=0.5",
                         "--enabled=false"};
   FlagParser flags(7, const_cast<char**>(argv));
   EXPECT_EQ(flags.GetInt("scale", 0), 20);
@@ -152,6 +152,17 @@ TEST(FlagParserTest, ParsesKeyValueAndBooleans) {
   EXPECT_EQ(flags.positional()[0], "positional1");
   EXPECT_TRUE(flags.Has("scale"));
   EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagParserTest, ParsesSpaceSeparatedValues) {
+  const char* argv[] = {"prog", "--scale", "16", "--out", "/tmp/g",
+                        "--verbose"};
+  FlagParser flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("scale", 0), 16);
+  EXPECT_EQ(flags.GetString("out", ""), "/tmp/g");
+  // A trailing bare flag still reads as boolean true.
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.positional().empty());
 }
 
 TEST(EdgeTest, ComparisonAndEquality) {
