@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "util/common.h"
 #include "util/stopwatch.h"
 
@@ -39,33 +42,57 @@ inline std::string TimeOrOom(const std::function<void()>& fn) {
   return buf;
 }
 
-/// Opt-in observability hook shared by every figure bench. When the
-/// `TG_METRICS_JSON` environment variable is set, enables tg::obs for the
-/// lifetime of the session and writes a RunReport to that path on
-/// destruction; any `{name}` placeholder in the path is replaced with the
-/// bench name so one variable covers a whole `ctest`/script sweep:
+/// Opt-in observability hook shared by every figure bench, driven by
+/// environment variables so one setting covers a whole `ctest`/script sweep
+/// (a `{name}` placeholder in any path is replaced with the bench name):
+///
+///   TG_METRICS_JSON=/tmp/{name}.json   write a RunReport on destruction
+///   TG_TRACE_JSON=/tmp/{name}.trace.json  enable timeline tracing, write a
+///                                      Chrome Trace Event file on exit
+///   TG_SAMPLE_MS=50                    sample time series at this interval,
+///                                      embedded in the RunReport
 ///
 ///   TG_METRICS_JSON=/tmp/{name}.json ./bench_fig11b_distributed
 ///
-/// Without the variable this is a no-op and the bench runs uninstrumented.
+/// Without any of the variables this is a no-op and the bench runs
+/// uninstrumented. Missing parent directories are created; write failures
+/// go to stderr (and never abort the bench).
 class ObsSession {
  public:
   explicit ObsSession(const std::string& name) : name_(name) {
-    const char* pattern = std::getenv("TG_METRICS_JSON");
-    if (pattern == nullptr || pattern[0] == '\0') return;
-    path_ = pattern;
-    const std::size_t placeholder = path_.find("{name}");
-    if (placeholder != std::string::npos) {
-      path_.replace(placeholder, 6, name_);
+    path_ = PathFromEnv("TG_METRICS_JSON");
+    trace_path_ = PathFromEnv("TG_TRACE_JSON");
+    const char* sample_ms = std::getenv("TG_SAMPLE_MS");
+    if (path_.empty() && trace_path_.empty() &&
+        (sample_ms == nullptr || sample_ms[0] == '\0')) {
+      return;
     }
     obs::SetEnabled(true);
     obs::PreregisterCanonicalMetrics();
+    if (!trace_path_.empty()) obs::SetTraceEnabled(true);
+    if (sample_ms != nullptr && sample_ms[0] != '\0') {
+      obs::SamplerOptions options;
+      options.interval_ms = std::atoi(sample_ms);
+      sampler_ = std::make_unique<obs::Sampler>(options);
+      sampler_->Start();
+    }
   }
 
   ~ObsSession() {
+    if (sampler_ != nullptr) sampler_->Stop();
+    if (!trace_path_.empty()) {
+      Status status = obs::WriteChromeTraceFile(trace_path_);
+      if (status.ok()) {
+        std::printf("trace written to %s\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s: %s\n", trace_path_.c_str(),
+                     status.ToString().c_str());
+      }
+    }
     if (path_.empty()) return;
     obs::RunReport report = obs::RunReport::Collect(obs::Registry::Global());
     report.meta["tool"] = name_;
+    if (sampler_ != nullptr) sampler_->ExportTo(&report);
     Status status = report.WriteJsonFile(path_);
     if (status.ok()) {
       std::printf("metrics report written to %s\n", path_.c_str());
@@ -82,8 +109,21 @@ class ObsSession {
   bool active() const { return !path_.empty(); }
 
  private:
+  std::string PathFromEnv(const char* var) const {
+    const char* pattern = std::getenv(var);
+    if (pattern == nullptr || pattern[0] == '\0') return "";
+    std::string path = pattern;
+    const std::size_t placeholder = path.find("{name}");
+    if (placeholder != std::string::npos) {
+      path.replace(placeholder, 6, name_);
+    }
+    return path;
+  }
+
   std::string name_;
   std::string path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 /// Human-readable byte count.

@@ -19,7 +19,9 @@
 #include "format/tsv.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/sampler.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -55,8 +57,13 @@ int main(int argc, char** argv) {
         "       [--precision=double|dd] [--direction=out|in]\n"
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
         "       [--metrics_json=PATH] [--metrics_table]\n"
+        "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
         "--metrics_json writes a structured tg::obs run report (JSON; see\n"
-        "docs/OBSERVABILITY.md); --metrics_table prints it human-readable.\n",
+        "docs/OBSERVABILITY.md); --metrics_table prints it human-readable.\n"
+        "--trace_json writes a Chrome Trace Event file (open in Perfetto or\n"
+        "chrome://tracing); --progress prints a live edges/sec + ETA line;\n"
+        "--sample_ms sets the sampling interval (default 20) for the time\n"
+        "series embedded in the run report.\n",
         flags.program_name().c_str());
     return 0;
   }
@@ -85,11 +92,27 @@ int main(int argc, char** argv) {
   }
 
   const std::string metrics_json = flags.GetString("metrics_json", "");
+  const std::string trace_json = flags.GetString("trace_json", "");
   const bool metrics_table = flags.GetBool("metrics_table", false);
-  const bool want_metrics = !metrics_json.empty() || metrics_table;
+  const bool progress = flags.GetBool("progress", false);
+  const bool want_sampler = progress || flags.Has("sample_ms");
+  const bool want_metrics = !metrics_json.empty() || metrics_table ||
+                            !trace_json.empty() || want_sampler;
   if (want_metrics) {
     tg::obs::SetEnabled(true);
     tg::obs::PreregisterCanonicalMetrics();
+  }
+  if (!trace_json.empty()) tg::obs::SetTraceEnabled(true);
+
+  std::unique_ptr<tg::obs::Sampler> sampler;
+  if (want_sampler || !metrics_json.empty()) {
+    tg::obs::SamplerOptions sampler_options;
+    sampler_options.interval_ms =
+        static_cast<int>(flags.GetInt("sample_ms", 20));
+    sampler_options.print_progress = progress;
+    sampler_options.progress_target_edges = config.NumEdges();
+    sampler = std::make_unique<tg::obs::Sampler>(sampler_options);
+    sampler->Start();
   }
 
   std::printf("generating scale %d (|V|=%llu, |E|=%llu) as %s into %s.*\n",
@@ -117,6 +140,18 @@ int main(int argc, char** argv) {
   std::printf("peak per-scope working set: %llu bytes\n",
               static_cast<unsigned long long>(stats.peak_scope_bytes));
 
+  if (sampler != nullptr) sampler->Stop();
+  if (!trace_json.empty()) {
+    tg::Status status = tg::obs::WriteChromeTraceFile(trace_json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write trace %s: %s\n",
+                   trace_json.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                trace_json.c_str());
+  }
+
   if (want_metrics) {
     tg::obs::RunReport report =
         tg::obs::RunReport::Collect(tg::obs::Registry::Global());
@@ -133,6 +168,7 @@ int main(int argc, char** argv) {
     report.meta["direction"] = transposed ? "in" : "out";
     report.meta["out"] = out;
     report.meta["wall_seconds"] = std::to_string(watch.ElapsedSeconds());
+    if (sampler != nullptr) sampler->ExportTo(&report);
     if (metrics_table) std::fputs(report.ToTable().c_str(), stdout);
     if (!metrics_json.empty()) {
       tg::Status status = report.WriteJsonFile(metrics_json);

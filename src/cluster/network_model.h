@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tg::cluster {
 
@@ -39,6 +40,9 @@ struct NetworkModel {
     obs::GetCounter("net.charged_bytes")->Add(bytes);
     obs::GetCounter("net.transfers")->Increment();
     obs::GetGauge("net.simulated_seconds")->Add(seconds);
+    // Timeline: a slice on the simulated-network track whose duration is
+    // the simulated charge (obs/trace.h).
+    obs::TraceWire("net.transfer", seconds);
     return seconds;
   }
 };

@@ -11,6 +11,7 @@
 #include "cluster/network_model.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "util/common.h"
 #include "util/memory_budget.h"
 #include "util/stopwatch.h"
@@ -148,6 +149,10 @@ class SimCluster {
     obs::GetCounter("cluster.shuffled_bytes")->Add(total_bytes);
     obs::GetGauge("net.simulated_seconds")->Add(seconds);
     obs::GetCounter("net.transfers")->Increment();
+    // Timeline: the collective's simulated duration on the wire track — in
+    // a trace of a baseline run this is the shuffle barrier the paper's
+    // Figure 11(b) charges against RMAT-merge methods.
+    obs::TraceWire("cluster.shuffle", seconds);
     return inbox;
   }
 

@@ -77,7 +77,13 @@ class AvsRangeGenerator {
         // report; otherwise the generator carries a null pointer and the
         // hot loop pays a single predictable branch.
         degree_hist_(obs::Enabled() ? obs::GetHistogram("avs.scope_degree")
-                                    : nullptr) {}
+                                    : nullptr),
+        // Live mirror of edges emitted so far, bumped once per finished
+        // scope (never per edge) so the obs::Sampler can compute a rate and
+        // ETA mid-run. `avs.edges_generated` itself stays an end-of-run
+        // aggregate (RecordAvsStats), keeping both exact.
+        live_edges_(obs::Enabled() ? obs::GetCounter("progress.edges")
+                                   : nullptr) {}
 
   /// Runs Algorithm 4 over scopes [lo, hi). `root` is the graph-level RNG
   /// (forked per scope). Scopes are delivered to `sink` in increasing vertex
@@ -158,6 +164,7 @@ class AvsRangeGenerator {
     stats->num_scopes += 1;
     stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj->size());
     if (degree_hist_ != nullptr) degree_hist_->Observe(adj->size());
+    if (live_edges_ != nullptr) live_edges_->Add(adj->size());
     sink->ConsumeScope(u, adj->data(), adj->size());
   }
 
@@ -174,6 +181,7 @@ class AvsRangeGenerator {
   VertexId num_vertices_;
   bool exclude_self_loops_;
   obs::Histogram* degree_hist_;
+  obs::Counter* live_edges_;
 };
 
 }  // namespace tg::core

@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace tg::obs {
 
 namespace {
@@ -24,6 +27,35 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.min = snap.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
   snap.max = max_.load(std::memory_order_relaxed);
   return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation in [0, count-1], then walk buckets until
+  // the cumulative count covers it.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(before + in_bucket)) {
+      if (b == 0) return 0.0;  // bucket 0 holds exactly the zeros
+      const double lo = static_cast<double>(
+          Histogram::BucketLowerBound(static_cast<int>(b)));
+      const double hi = 2.0 * lo;
+      // Fractional position inside the bucket (midpoint of the covered
+      // observation), interpolated over the bucket's value range.
+      const double frac = (rank - static_cast<double>(before) + 0.5) /
+                          static_cast<double>(in_bucket);
+      double value = lo + frac * (hi - lo);
+      value = std::min(value, static_cast<double>(max));
+      value = std::max(value, static_cast<double>(min));
+      return value;
+    }
+    before += in_bucket;
+  }
+  return static_cast<double>(max);
 }
 
 std::uint64_t Histogram::count() const {
@@ -158,6 +190,9 @@ void PreregisterCanonicalMetrics() {
   r.GetCounter("format.tsv.bytes_written");
   r.GetCounter("format.adj6.bytes_written");
   r.GetCounter("format.csr6.bytes_written");
+  // Live progress + tracing (obs/sampler.h, obs/trace.h).
+  r.GetCounter("progress.edges");
+  r.GetCounter("trace.dropped_events");
 }
 
 }  // namespace tg::obs

@@ -77,6 +77,12 @@ struct HistogramSnapshot {
   /// bucket i >= 1: values in [2^(i-1), 2^i)). Trailing zero buckets are
   /// trimmed.
   std::vector<std::uint64_t> buckets;
+
+  /// Estimates the q-quantile (q in [0, 1]) by locating the bucket holding
+  /// the rank and interpolating linearly inside its [2^(i-1), 2^i) range,
+  /// clamped to the observed min/max. Exact at the resolution of log2
+  /// buckets — off by at most a factor of 2, usually much less.
+  double Quantile(double q) const;
 };
 
 /// Log-scale histogram of non-negative integer samples (latencies in

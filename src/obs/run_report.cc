@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "storage/file_io.h"
+#include "storage/fs.h"
 
 namespace tg::obs {
 
@@ -369,7 +370,27 @@ std::string RunReport::ToJson() const {
     }
     out += "}";
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ],\n  \"series\": {";
+  first = true;
+  for (const auto& [name, ts] : series) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(name, &out);
+    out += ": {\"interval_seconds\": ";
+    AppendDouble(ts.interval_seconds, &out);
+    out += ", \"t\": [";
+    for (std::size_t i = 0; i < ts.t.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendDouble(ts.t[i], &out);
+    }
+    out += "], \"v\": [";
+    for (std::size_t i = 0; i < ts.v.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendDouble(ts.v[i], &out);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
   return out;
 }
 
@@ -443,6 +464,22 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
         });
         out->machines[machine] = std::move(stats);
       });
+    } else if (section == "series") {
+      cur.ParseObject([&](const std::string& name) {
+        TimeSeries ts;
+        cur.ParseObject([&](const std::string& field) {
+          if (field == "interval_seconds") {
+            ts.interval_seconds = cur.ParseDouble();
+          } else if (field == "t") {
+            cur.ParseArray([&] { ts.t.push_back(cur.ParseDouble()); });
+          } else if (field == "v") {
+            cur.ParseArray([&] { ts.v.push_back(cur.ParseDouble()); });
+          } else {
+            cur.SkipValue();
+          }
+        });
+        out->series[name] = std::move(ts);
+      });
     } else {
       cur.SkipValue();
     }
@@ -478,17 +515,22 @@ std::string RunReport::ToTable() const {
     out << buf << "\n";
   }
   if (!histograms.empty()) {
-    out << "-- histograms (log2 buckets) --\n";
+    out << "-- histograms (percentiles estimated from log2 buckets) --\n";
+    char header[160];
+    std::snprintf(header, sizeof(header), "  %-28s %10s %8s %10s %10s %10s %10s %10s\n",
+                  "name", "count", "min", "p50", "p90", "p99", "max", "mean");
+    out << header;
     for (const auto& [name, h] : histograms) {
       double mean = h.count == 0
                         ? 0.0
                         : static_cast<double>(h.sum) /
                               static_cast<double>(h.count);
-      char buf[128];
+      char buf[200];
       std::snprintf(buf, sizeof(buf),
-                    "count=%" PRIu64 " min=%" PRIu64 " mean=%.1f max=%" PRIu64,
-                    h.count, h.min, mean, h.max);
-      out << "  " << name << ": " << buf << "\n";
+                    "  %-28s %10" PRIu64 " %8" PRIu64 " %10.1f %10.1f %10.1f %10" PRIu64 " %10.1f\n",
+                    name.c_str(), h.count, h.min, h.Quantile(0.50),
+                    h.Quantile(0.90), h.Quantile(0.99), h.max, mean);
+      out << buf;
     }
   }
   if (!spans.empty()) {
@@ -512,10 +554,25 @@ std::string RunReport::ToTable() const {
       out << "\n";
     }
   }
+  if (!series.empty()) {
+    out << "-- sampled series --\n";
+    for (const auto& [name, ts] : series) {
+      char buf[160];
+      double last_t = ts.t.empty() ? 0.0 : ts.t.back();
+      double first_v = ts.v.empty() ? 0.0 : ts.v.front();
+      double last_v = ts.v.empty() ? 0.0 : ts.v.back();
+      std::snprintf(buf, sizeof(buf),
+                    "  %-28s %4zu points over %.2fs  %.6g -> %.6g\n",
+                    name.c_str(), ts.size(), last_t, first_v, last_v);
+      out << buf;
+    }
+  }
   return out.str();
 }
 
 Status RunReport::WriteJsonFile(const std::string& path) const {
+  Status made = storage::EnsureParentDirectory(path);
+  if (!made.ok()) return made;
   storage::FileWriter writer;
   Status s = writer.Open(path);
   if (!s.ok()) return s;

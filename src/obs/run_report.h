@@ -16,6 +16,17 @@
 
 namespace tg::obs {
 
+/// One sampled metric over time: parallel arrays of (seconds since sampling
+/// start, value). Produced by obs::Sampler, embedded in RunReport under the
+/// metric's name.
+struct TimeSeries {
+  double interval_seconds = 0.0;  ///< nominal sampling interval
+  std::vector<double> t;          ///< monotonically non-decreasing
+  std::vector<double> v;
+
+  std::size_t size() const { return t.size(); }
+};
+
 struct RunReport {
   /// One aggregated trace-span row (path + simulated machine tag).
   struct SpanRow {
@@ -34,6 +45,8 @@ struct RunReport {
   std::vector<SpanRow> spans;  ///< sorted by (path, machine)
   /// machine id -> stat key -> value (peak_bytes, cpu_seconds, ...).
   std::map<int, std::map<std::string, double>> machines;
+  /// Sampled time series, keyed by metric name (obs::Sampler::ExportTo).
+  std::map<std::string, TimeSeries> series;
 
   /// Snapshots the registry. Counters/gauges/histograms/spans/machines are
   /// filled; `meta` is left for the caller.
@@ -45,9 +58,11 @@ struct RunReport {
   /// Parses ToJson() output back into a report (unknown keys are skipped).
   static Status FromJson(const std::string& json, RunReport* out);
 
-  /// Human-readable multi-section table for terminal output.
+  /// Human-readable multi-section table for terminal output. Histograms are
+  /// summarized with p50/p90/p99 estimated from their log2 buckets.
   std::string ToTable() const;
 
+  /// Serializes to `path`, creating missing parent directories first.
   Status WriteJsonFile(const std::string& path) const;
 };
 

@@ -1,0 +1,164 @@
+#include "obs/sampler.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tg::obs {
+
+namespace {
+
+/// Formats an edge count compactly (1234567 -> "1.23M").
+std::string HumanCount(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t CurrentRssBytes() {
+#ifdef __linux__
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long rss_pages = 0;
+  int matched = std::fscanf(statm, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(statm);
+  if (matched != 2) return 0;
+  return static_cast<std::uint64_t>(rss_pages) *
+         static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+Sampler::Sampler(const SamplerOptions& options) : options_(options) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  SampleOnce(0.0);
+  thread_ = std::thread(&Sampler::Loop, this);
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  // One closing sample so the series always covers the full run, then
+  // terminate the \r progress line cleanly.
+  SampleOnce(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_time_)
+                 .count());
+  if (options_.print_progress) std::fputc('\n', stderr);
+}
+
+void Sampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    SampleOnce(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+                   .count());
+  }
+}
+
+void Sampler::SampleOnce(double t_seconds) {
+  // Caller holds mu_ (Start/Stop) or the Loop's unique_lock.
+  auto record = [&](const std::string& name, double value) {
+    TimeSeries& ts = series_[name];
+    ts.interval_seconds = options_.interval_ms / 1000.0;
+    ts.t.push_back(t_seconds);
+    ts.v.push_back(value);
+    if (options_.emit_trace_counters && TraceEnabled()) {
+      TraceCounter(InternTraceName(name), value);
+    }
+  };
+
+  Registry& registry = Registry::Global();
+  double edges = 0.0;
+  for (const std::string& name : options_.counters) {
+    double value =
+        static_cast<double>(registry.GetCounter(name)->value());
+    if (name == "progress.edges") edges = value;
+    record(name, value);
+  }
+  for (const std::string& name : options_.gauges) {
+    record(name, registry.GetGauge(name)->value());
+  }
+  if (options_.sample_rss) {
+    std::uint64_t rss = CurrentRssBytes();
+    if (rss != 0) record("proc.rss_bytes", static_cast<double>(rss));
+  }
+  if (options_.print_progress) PrintProgress(t_seconds, edges);
+}
+
+void Sampler::PrintProgress(double t_seconds, double edges) {
+  // Rate over a sliding ~2s window (falls back to the whole run when young).
+  rate_window_.emplace_back(t_seconds, edges);
+  while (rate_window_.size() > 2 &&
+         t_seconds - rate_window_.front().first > 2.0) {
+    rate_window_.erase(rate_window_.begin());
+  }
+  double dt = t_seconds - rate_window_.front().first;
+  double de = edges - rate_window_.front().second;
+  double rate = dt > 0 ? de / dt : 0.0;
+
+  char line[160];
+  if (options_.progress_target_edges > 0) {
+    double target = static_cast<double>(options_.progress_target_edges);
+    double pct = target > 0 ? 100.0 * edges / target : 0.0;
+    double eta = rate > 0 ? (target - edges) / rate : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "\r[progress] %s/%s edges (%.0f%%)  %s edges/s  ETA %.1fs   ",
+                  HumanCount(edges).c_str(), HumanCount(target).c_str(), pct,
+                  HumanCount(rate).c_str(), eta);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "\r[progress] %s edges  %s edges/s  t=%.1fs   ",
+                  HumanCount(edges).c_str(), HumanCount(rate).c_str(),
+                  t_seconds);
+  }
+  std::fputs(line, stderr);
+  std::fflush(stderr);
+}
+
+std::map<std::string, TimeSeries> Sampler::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+void Sampler::ExportTo(RunReport* report) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, ts] : series_) {
+    report->series[name] = ts;
+  }
+}
+
+}  // namespace tg::obs

@@ -1,0 +1,96 @@
+// obs/sampler.h — background time-series sampling. A single thread wakes on
+// a fixed interval, snapshots selected counters/gauges (plus process RSS)
+// from the global registry, and appends each value to an in-memory
+// TimeSeries that Sampler::ExportTo embeds into a RunReport. The same tick
+// optionally drives a live `edges/sec + ETA` progress line (gen_cli
+// --progress) and, when tracing is on, emits counter events so the sampled
+// curves appear in Perfetto alongside the span timeline.
+//
+// The sampler only *reads* metrics; the instrumented hot paths are untouched
+// and keep their disabled-cost guarantee.
+#ifndef TRILLIONG_OBS_SAMPLER_H_
+#define TRILLIONG_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/run_report.h"
+
+namespace tg::obs {
+
+struct SamplerOptions {
+  int interval_ms = 100;
+
+  /// Counters sampled each tick (as doubles, cumulative values).
+  std::vector<std::string> counters = {
+      "progress.edges",
+      "cluster.shuffled_bytes",
+  };
+  /// Gauges sampled each tick.
+  std::vector<std::string> gauges = {
+      "mem.peak_machine_bytes",
+      "net.simulated_seconds",
+  };
+  /// Also record the process resident set size as `proc.rss_bytes`
+  /// (Linux /proc/self/statm; absent elsewhere).
+  bool sample_rss = true;
+
+  /// Mirror every sample onto trace counter tracks when tracing is enabled.
+  bool emit_trace_counters = true;
+
+  /// Print a `\r`-refreshed progress line to stderr: edges so far, rate,
+  /// and — when `progress_target_edges` is nonzero — percent done and ETA.
+  /// Reads the `progress.edges` counter (live, bumped per generated scope).
+  bool print_progress = false;
+  std::uint64_t progress_target_edges = 0;
+};
+
+/// Process RSS in bytes (0 where /proc is unavailable).
+std::uint64_t CurrentRssBytes();
+
+class Sampler {
+ public:
+  explicit Sampler(const SamplerOptions& options);
+  ~Sampler();  ///< stops (joining the thread) if still running
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Spawns the sampling thread and records the t=0 sample.
+  void Start();
+
+  /// Records one final sample, stops and joins the thread. Idempotent.
+  void Stop();
+
+  /// The collected series so far (call after Stop for a complete set).
+  std::map<std::string, TimeSeries> Series() const;
+
+  /// Merges the collected series into `report->series`.
+  void ExportTo(RunReport* report) const;
+
+ private:
+  void Loop();
+  void SampleOnce(double t_seconds);
+  void PrintProgress(double t_seconds, double edges);
+
+  SamplerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::map<std::string, TimeSeries> series_;
+  std::chrono::steady_clock::time_point start_time_;
+  /// (t, edges) of the sample ~1s back, for a smoothed progress rate.
+  std::vector<std::pair<double, double>> rate_window_;
+};
+
+}  // namespace tg::obs
+
+#endif  // TRILLIONG_OBS_SAMPLER_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace tg::obs {
@@ -42,6 +43,9 @@ Span::Span(const char* name) : name_(name) {
   if (!Enabled()) return;
   active_ = true;
   t_span_stack.push_back(name_);
+  // The trace begin event precedes the aggregate clock reads so the traced
+  // slice encloses the measured interval.
+  TraceBegin(name_);
   wall_start_ = WallSeconds();
   cpu_start_ = ThreadCpuSeconds();
 }
@@ -50,6 +54,7 @@ Span::~Span() {
   if (!active_) return;
   double wall = WallSeconds() - wall_start_;
   double cpu = ThreadCpuSeconds() - cpu_start_;
+  TraceEnd(name_);
   std::string path = JoinStack();
   // Pop only our own frame; TG_SPAN scoping guarantees LIFO order per thread.
   if (!t_span_stack.empty() && t_span_stack.back() == name_) {

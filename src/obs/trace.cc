@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <set>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace tg::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Trace epoch. Monotonic timestamps are taken relative to this so exported
+/// microsecond values stay small. Reset only by ResetTraceForTest().
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Registry of every thread's buffer. Buffers are only appended (and only
+/// cleared wholesale by ResetTraceForTest), so a drain can walk the vector
+/// under the lock and read buffers lock-free afterwards.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  /// Bumped by ResetTraceForTest so threads holding a cached pointer into a
+  /// cleared registry re-register instead of writing into freed memory.
+  std::atomic<std::uint64_t> generation{0};
+};
+
+BufferRegistry& GlobalBuffers() {
+  static BufferRegistry* registry = new BufferRegistry();  // leaked
+  return *registry;
+}
+
+thread_local TraceBuffer* t_buffer = nullptr;
+thread_local std::uint64_t t_buffer_generation = 0;
+
+void EmitTyped(const char* name, TraceEventType type, double value) {
+  TraceEvent event;
+  event.ts_ns = TraceNowNs();
+  event.name = name;
+  event.type = type;
+  event.machine = CurrentMachine();
+  event.value = value;
+  CurrentTraceBuffer()->Emit(event);
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool on) {
+  if (on) {
+    // Establish the epoch on first enable so timestamps start near zero.
+    std::int64_t expected = 0;
+    g_epoch_ns.compare_exchange_strong(expected, SteadyNowNs(),
+                                       std::memory_order_relaxed);
+  }
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t TraceNowNs() {
+  return SteadyNowNs() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void TraceBuffer::Emit(const TraceEvent& event) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[h % capacity_];
+  slot.seq.store(2 * h + 1, std::memory_order_release);
+  slot.ts_ns.store(event.ts_ns, std::memory_order_relaxed);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.type.store(static_cast<std::int32_t>(event.type),
+                  std::memory_order_relaxed);
+  slot.machine.store(event.machine, std::memory_order_relaxed);
+  slot.value.store(event.value, std::memory_order_relaxed);
+  slot.seq.store(2 * h + 2, std::memory_order_release);
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::size_t TraceBuffer::Drain(std::vector<TraceEvent>* out) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+  std::size_t appended = 0;
+  for (std::uint64_t i = begin; i < head; ++i) {
+    Slot& slot = slots_[i % capacity_];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * i + 2) continue;
+    TraceEvent event;
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.type = static_cast<TraceEventType>(
+        slot.type.load(std::memory_order_relaxed));
+    event.machine = slot.machine.load(std::memory_order_relaxed);
+    event.value = slot.value.load(std::memory_order_relaxed);
+    // Revalidate: if the writer lapped us mid-copy the sequence has moved on
+    // and we discard. The read-don't-modify RMW's release half orders the
+    // payload reads before it (an atomic_thread_fence would too, but TSan
+    // cannot model fences and this path is drain-time, not hot).
+    if (slot.seq.fetch_add(0, std::memory_order_acq_rel) != 2 * i + 2) {
+      continue;
+    }
+    out->push_back(event);
+    ++appended;
+  }
+  return appended;
+}
+
+TraceBuffer* CurrentTraceBuffer() {
+  BufferRegistry& registry = GlobalBuffers();
+  const std::uint64_t generation =
+      registry.generation.load(std::memory_order_acquire);
+  if (t_buffer == nullptr || t_buffer_generation != generation) {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.buffers.push_back(std::make_unique<TraceBuffer>());
+    t_buffer = registry.buffers.back().get();
+    t_buffer_generation =
+        registry.generation.load(std::memory_order_relaxed);
+  }
+  return t_buffer;
+}
+
+void TraceBegin(const char* name) {
+  if (!TraceEnabled()) return;
+  EmitTyped(name, TraceEventType::kBegin, 0.0);
+}
+
+void TraceEnd(const char* name) {
+  if (!TraceEnabled()) return;
+  EmitTyped(name, TraceEventType::kEnd, 0.0);
+}
+
+void TraceInstant(const char* name) {
+  if (!TraceEnabled()) return;
+  EmitTyped(name, TraceEventType::kInstant, 0.0);
+}
+
+void TraceCounter(const char* name, double value) {
+  if (!TraceEnabled()) return;
+  EmitTyped(name, TraceEventType::kCounter, value);
+}
+
+void TraceWire(const char* name, double simulated_seconds) {
+  if (!TraceEnabled()) return;
+  EmitTyped(name, TraceEventType::kWire, simulated_seconds);
+}
+
+const char* InternTraceName(const std::string& name) {
+  static std::mutex* mu = new std::mutex();
+  static std::set<std::string>* interned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
+  return interned->insert(name).first->c_str();
+}
+
+TraceSnapshot DrainTrace() {
+  BufferRegistry& registry = GlobalBuffers();
+  std::vector<TraceBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers.reserve(registry.buffers.size());
+    for (const auto& buffer : registry.buffers) {
+      buffers.push_back(buffer.get());
+    }
+  }
+
+  TraceSnapshot snapshot;
+  std::vector<TraceEvent> events;
+  for (std::size_t tid = 0; tid < buffers.size(); ++tid) {
+    events.clear();
+    buffers[tid]->Drain(&events);
+    snapshot.dropped += buffers[tid]->dropped();
+    for (const TraceEvent& event : events) {
+      snapshot.rows.push_back({event, static_cast<int>(tid)});
+    }
+  }
+  // Rows were appended buffer-by-buffer in emission order; a stable sort by
+  // timestamp therefore preserves each thread's B/E nesting on ties.
+  std::stable_sort(snapshot.rows.begin(), snapshot.rows.end(),
+                   [](const TraceSnapshot::Row& a, const TraceSnapshot::Row& b) {
+                     return a.event.ts_ns < b.event.ts_ns;
+                   });
+  GetCounter("trace.dropped_events")->Reset();
+  GetCounter("trace.dropped_events")->Add(snapshot.dropped);
+  return snapshot;
+}
+
+void ResetTraceForTest() {
+  BufferRegistry& registry = GlobalBuffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.buffers.clear();
+  registry.generation.fetch_add(1, std::memory_order_release);
+  g_epoch_ns.store(0, std::memory_order_relaxed);
+  if (TraceEnabled()) {
+    g_epoch_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tg::obs

@@ -55,4 +55,20 @@ bool FlagParser::GetBool(const std::string& key, bool default_value) const {
   return it->second != "false" && it->second != "0";
 }
 
+std::vector<std::string> FlagParser::GetStringList(
+    const std::string& key) const {
+  std::vector<std::string> items;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return items;
+  const std::string& value = it->second;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > start) items.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
 }  // namespace tg

@@ -26,6 +26,10 @@ class FlagParser {
   double GetDouble(const std::string& key, double default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
 
+  /// Comma-separated list flag: `--skip a,b,c` -> {"a","b","c"}. Empty
+  /// items are dropped; an absent flag yields an empty vector.
+  std::vector<std::string> GetStringList(const std::string& key) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program_name() const { return program_name_; }
 

@@ -1,0 +1,154 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tg::json {
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p >= end || *p != c) return false;
+    ++p;
+    return true;
+  }
+
+  bool Literal(const char* word) {
+    const char* q = word;
+    const char* save = p;
+    while (*q != '\0') {
+      if (p >= end || *p != *q) {
+        p = save;
+        return false;
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) return false;
+      char esc = *p++;
+      switch (esc) {
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (end - p < 4) return false;
+          char hex[5] = {p[0], p[1], p[2], p[3], 0};
+          out->push_back(
+              static_cast<char>(std::strtoul(hex, nullptr, 16) & 0xFF));
+          p += 4;
+          break;
+        }
+        default:
+          out->push_back(esc);  // covers \" \\ \/
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{': {
+        ++p;
+        out->type = Value::Type::kObject;
+        if (Consume('}')) return true;
+        do {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+          if (!ParseValue(&out->object[key])) return false;
+        } while (Consume(','));
+        return Consume('}');
+      }
+      case '[': {
+        ++p;
+        out->type = Value::Type::kArray;
+        if (Consume(']')) return true;
+        do {
+          out->array.emplace_back();
+          if (!ParseValue(&out->array.back())) return false;
+        } while (Consume(','));
+        return Consume(']');
+      }
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = Value::Type::kNull;
+        return Literal("null");
+      default: {
+        const char* start = p;
+        if (p < end && (*p == '-' || *p == '+')) ++p;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                           *p == '-')) {
+          ++p;
+        }
+        if (p == start) return false;
+        out->type = Value::Type::kNumber;
+        out->number = std::strtod(std::string(start, p).c_str(), nullptr);
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status Parse(const std::string& text, Value* out) {
+  *out = Value();
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.ParseValue(out)) {
+    return Status::Corruption("malformed JSON");
+  }
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return Status::Corruption("trailing garbage after JSON document");
+  }
+  return Status::Ok();
+}
+
+}  // namespace tg::json

@@ -1,0 +1,59 @@
+// util/json.h — a minimal JSON document model and recursive-descent parser.
+// Exists so consumers of our emitted JSON (trace schema validation in tests,
+// tooling that inspects Chrome trace files) can walk arbitrary documents;
+// obs::RunReport keeps its own streaming typed parser for its fixed schema.
+#ifndef TRILLIONG_UTIL_JSON_H_
+#define TRILLIONG_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg::json {
+
+/// One JSON value. A tagged struct rather than a variant: documents here are
+/// small (reports, traces), so per-node overhead does not matter.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience accessors with defaults for optional members.
+  double NumberOr(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  const std::string& StringOr(const std::string& fallback) const {
+    return is_string() ? str : fallback;
+  }
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Numbers are stored as doubles; strings support the
+/// standard escapes with \uXXXX truncated to the low byte (our documents are
+/// ASCII).
+Status Parse(const std::string& text, Value* out);
+
+}  // namespace tg::json
+
+#endif  // TRILLIONG_UTIL_JSON_H_
