@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "cluster/sim_cluster.h"
 #include "cluster/trilliong_cluster.h"
+#include "core/scheduler.h"
 #include "core/trilliong.h"
 #include "format/adj6.h"
 #include "format/tsv.h"
@@ -89,6 +90,7 @@ int main() {
         tg::core::TrillionGConfig config;
         config.scale = scale;
         config.edge_factor = 16;
+        config.chunks_per_worker = tg::core::ChunksPerWorkerFromEnv();
         tg::cluster::ClusterGenerateStats stats =
             tg::cluster::GenerateOnCluster(
                 &cluster, config,

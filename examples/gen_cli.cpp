@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scheduler.h"
 #include "core/trilliong.h"
 #include "format/adj6.h"
 #include "format/csr6.h"
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
         "usage: %s --out=PREFIX [--scale=N] [--edge_factor=N] "
         "[--format=tsv|adj6|csr6] [--workers=N] [--noise=X] [--seed=N]\n"
         "       [--precision=double|dd] [--direction=out|in]\n"
+        "       [--chunks_per_worker=N]\n"
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
         "       [--metrics_json=PATH] [--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
@@ -63,7 +65,11 @@ int main(int argc, char** argv) {
         "--trace_json writes a Chrome Trace Event file (open in Perfetto or\n"
         "chrome://tracing); --progress prints a live edges/sec + ETA line;\n"
         "--sample_ms sets the sampling interval (default 20) for the time\n"
-        "series embedded in the run report.\n",
+        "series embedded in the run report.\n"
+        "--chunks_per_worker sets the work-stealing granularity (default "
+        "16;\n1 = static one-range-per-worker schedule; output is "
+        "bit-identical\nfor any value; TG_CHUNKS_PER_WORKER in the "
+        "environment overrides\nthe default).\n",
         flags.program_name().c_str());
     return 0;
   }
@@ -73,6 +79,8 @@ int main(int argc, char** argv) {
   config.edge_factor =
       static_cast<std::uint64_t>(flags.GetInt("edge_factor", 16));
   config.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  config.chunks_per_worker = static_cast<int>(
+      flags.GetInt("chunks_per_worker", tg::core::ChunksPerWorkerFromEnv()));
   config.noise = flags.GetDouble("noise", 0.0);
   config.rng_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   config.seed = tg::model::SeedMatrix(
@@ -139,6 +147,14 @@ int main(int argc, char** argv) {
       stats.generate_seconds);
   std::printf("peak per-scope working set: %llu bytes\n",
               static_cast<unsigned long long>(stats.peak_scope_bytes));
+  if (config.num_workers > 1) {
+    std::printf(
+        "scheduler: %llu chunks, %llu steals, cpu imbalance %.2f "
+        "(max/mean)\n",
+        static_cast<unsigned long long>(stats.sched_chunks),
+        static_cast<unsigned long long>(stats.sched_steals),
+        stats.sched_imbalance);
+  }
 
   if (sampler != nullptr) sampler->Stop();
   if (!trace_json.empty()) {
@@ -159,6 +175,8 @@ int main(int argc, char** argv) {
     report.meta["scale"] = std::to_string(config.scale);
     report.meta["edge_factor"] = std::to_string(config.edge_factor);
     report.meta["workers"] = std::to_string(config.num_workers);
+    report.meta["chunks_per_worker"] =
+        std::to_string(config.chunks_per_worker);
     report.meta["noise"] = std::to_string(config.noise);
     report.meta["seed"] = std::to_string(config.rng_seed);
     report.meta["format"] = format;

@@ -1,9 +1,11 @@
 #include "cluster/trilliong_cluster.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/avs_generator.h"
+#include "core/scheduler.h"
 #include "model/noise.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -125,26 +127,59 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   stats.gather_scatter_seconds += cluster->network().ChargeTransfer(
       static_cast<std::uint64_t>(workers) * sizeof(VertexId), workers - 1);
 
+  // Generation runs on the work-stealing engine, with stealing confined to
+  // each simulated machine: the threads of one machine share memory, so a
+  // thief can pick up a machine-mate's chunk, but chunks never migrate
+  // across the (simulated) wire. Scope RNG streams are forked per vertex,
+  // so the stolen schedule produces bit-identical output.
   const rng::Rng root(config.rng_seed, /*stream=*/1);
   std::vector<core::AvsWorkerStats> worker_stats(workers);
+  const int chunks_per_worker = std::max(config.chunks_per_worker, 1);
+  const std::vector<std::vector<core::Chunk>> queues =
+      core::BuildChunkQueues(noise, boundaries, chunks_per_worker);
+
+  std::vector<std::unique_ptr<core::ScopeSink>> sinks;
+  std::vector<core::ScopeSink*> sink_ptrs;
+  sinks.reserve(workers);
+  sink_ptrs.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    sinks.push_back(sink_factory(w, boundaries[w], boundaries[w + 1]));
+    TG_CHECK(sinks.back() != nullptr);
+    sink_ptrs.push_back(sinks.back().get());
+  }
+
+  core::SchedulerOptions sched_options;
+  sched_options.steal_domain.resize(workers);
+  sched_options.machine_tags.resize(workers);
+  for (int w = 0; w < workers; ++w) {
+    sched_options.steal_domain[w] = cluster->MachineOfWorker(w);
+    sched_options.machine_tags[w] = cluster->MachineOfWorker(w);
+  }
+
   auto run_generation = [&]<typename Real>() {
-    return cluster->RunParallel([&](int w) {
-      TG_SPAN("avs.generate");
-      core::AvsRangeGenerator<Real> generator(
+    auto make_worker = [&](int w) -> core::ChunkFn {
+      auto generator = std::make_shared<core::AvsRangeGenerator<Real>>(
           &noise, num_edges, config.determiner, cluster->worker_budget(w),
           config.exclude_self_loops);
-      VertexId lo = boundaries[w];
-      VertexId hi = boundaries[w + 1];
-      std::unique_ptr<core::ScopeSink> sink = sink_factory(w, lo, hi);
-      TG_CHECK(sink != nullptr);
-      worker_stats[w] = generator.GenerateRange(lo, hi, root, sink.get());
-      sink->Finish();
-    });
+      auto scratch = std::make_shared<core::ScopeScratch<Real>>();
+      core::AvsWorkerStats* stats_slot = &worker_stats[w];
+      return [generator, scratch, stats_slot, &root](
+                 const core::Chunk& c, core::ChunkBuffer* buffer) {
+        generator->GenerateRange(c.lo, c.hi, root, scratch.get(), stats_slot,
+                                 buffer);
+      };
+    };
+    return core::RunWorkStealing(queues, sink_ptrs, make_worker,
+                                 sched_options);
   };
-  stats.generate.max_worker_cpu_seconds =
+  const core::SchedulerStats sched =
       config.precision == core::Precision::kDoubleDouble
           ? run_generation.template operator()<numeric::DoubleDouble>()
           : run_generation.template operator()<double>();
+  stats.generate.max_worker_cpu_seconds = sched.max_worker_cpu_seconds;
+  stats.generate.sched_chunks = sched.num_chunks;
+  stats.generate.sched_steals = sched.num_steals;
+  stats.generate.sched_imbalance = sched.imbalance;
 
   core::AvsWorkerStats merged;
   for (const core::AvsWorkerStats& s : worker_stats) merged.MergeFrom(s);

@@ -7,12 +7,12 @@
 #include "core/edge_determiner.h"
 #include "core/on_demand_cdf.h"
 #include "core/rec_vec.h"
+#include "core/scope_dedup.h"
 #include "core/scope_sink.h"
 #include "core/scope_size.h"
 #include "model/noise.h"
 #include "obs/metrics.h"
 #include "rng/random.h"
-#include "util/flat_set64.h"
 #include "util/memory_budget.h"
 
 namespace tg::core {
@@ -52,6 +52,18 @@ inline void RecordAvsStats(const AvsWorkerStats& merged) {
       ->Max(static_cast<double>(merged.peak_scope_bytes));
 }
 
+/// The reusable per-worker working state of scope generation: the scope's
+/// RecVec, the duplicate eliminator, and the adjacency buffer. One instance
+/// lives for a whole worker (across every scope, chunk, and range it
+/// executes), so the backing capacity is allocated on high-water marks only —
+/// per-scope work is clear-and-refill, never allocate.
+template <typename Real>
+struct ScopeScratch {
+  RecVec<Real> rec_vec;
+  ScopeDedup dedup;
+  std::vector<VertexId> adj;
+};
+
 /// Generates all scopes of a contiguous vertex range following the recursive
 /// vector model (Algorithm 4). One instance per worker; scope RNG streams
 /// are forked per vertex, so output is identical regardless of how ranges
@@ -61,6 +73,11 @@ inline void RecordAvsStats(const AvsWorkerStats& merged) {
 template <typename Real>
 class AvsRangeGenerator {
  public:
+  /// Uniform deviates drawn per rejection round on the hot path. One batch
+  /// fill amortizes the RNG state loads/stores over the whole block and lets
+  /// the determiner loop run without the generator in its dependency chain.
+  static constexpr std::size_t kDrawBatch = 64;
+
   /// `noise` must outlive the generator. `num_edges` is the global |E| of
   /// Theorem 1. `budget`, if non-null, models the per-machine memory cap.
   AvsRangeGenerator(const model::NoiseVector* noise, std::uint64_t num_edges,
@@ -91,38 +108,50 @@ class AvsRangeGenerator {
   AvsWorkerStats GenerateRange(VertexId lo, VertexId hi, const rng::Rng& root,
                                ScopeSink* sink) {
     AvsWorkerStats stats;
-    RecVec<Real> rv;
-    FlatSet64 dedup;
-    std::vector<VertexId> adj;
-    for (VertexId u = lo; u < hi; ++u) {
-      GenerateScope(u, root, &rv, &dedup, &adj, &stats, sink);
-    }
+    ScopeScratch<Real> scratch;
+    GenerateRange(lo, hi, root, &scratch, &stats, sink);
     return stats;
   }
 
+  /// Scratch-reusing form used by the work-stealing scheduler: one scratch
+  /// per worker outlives every chunk the worker executes.
+  void GenerateRange(VertexId lo, VertexId hi, const rng::Rng& root,
+                     ScopeScratch<Real>* scratch, AvsWorkerStats* stats,
+                     ScopeSink* sink) const {
+    for (VertexId u = lo; u < hi; ++u) {
+      GenerateScope(u, root, scratch, stats, sink);
+    }
+  }
+
   /// Generates a single scope (exposed for tests and the Figure 13 bench).
-  void GenerateScope(VertexId u, const rng::Rng& root, RecVec<Real>* rv,
-                     FlatSet64* dedup, std::vector<VertexId>* adj,
-                     AvsWorkerStats* stats, ScopeSink* sink) {
+  /// Safe to call concurrently from multiple threads as long as each thread
+  /// brings its own scratch/stats (the generator itself is read-only here;
+  /// the shared MemoryBudget is thread-safe).
+  void GenerateScope(VertexId u, const rng::Rng& root,
+                     ScopeScratch<Real>* scratch, AvsWorkerStats* stats,
+                     ScopeSink* sink) const {
     rng::Rng rng = root.Fork(u);
 
-    rv->Build(*noise_, u);
+    RecVec<Real>& rv = scratch->rec_vec;
+    rv.Build(*noise_, u);
     ++stats->rec_vec_builds;
-    const double p = ToDouble(rv->Total());
+    const double p = ToDouble(rv.Total());
 
     // Line 2 of Algorithm 4: numEdges <- |S(u, V)| by Theorem 1.
     const std::uint64_t degree =
         SampleScopeSize(num_edges_, p, num_vertices_, &rng);
     if (degree == 0) return;
 
-    dedup->Reset(degree);
-    adj->clear();
-    adj->reserve(degree);
+    ScopeDedup& dedup = scratch->dedup;
+    std::vector<VertexId>& adj = scratch->adj;
+    dedup.Reset(degree, num_vertices_);
+    adj.clear();
+    adj.reserve(degree);
 
     // Account the per-scope working set against the machine budget: this is
     // exactly the O(d_max) space term of Table 1.
     ScopedAllocation scope_mem(
-        budget_, dedup->MemoryBytes() + degree * sizeof(VertexId));
+        budget_, dedup.MemoryBytes() + degree * sizeof(VertexId));
     stats->peak_scope_bytes =
         std::max(stats->peak_scope_bytes, scope_mem.bytes());
 
@@ -131,41 +160,77 @@ class AvsRangeGenerator {
     // scopes, which realistic sparse configurations never produce.
     const std::uint64_t max_attempts = 100 * degree + 10000;
     std::uint64_t attempts = 0;
-    auto draw_destination = [&]() -> VertexId {
-      ++stats->cdf_evaluations;
-      if (opts_.reuse_rec_vec) {
-        Real x = NextUniformReal<Real>(&rng, rv->Total());
-        return DetermineEdgeWithOptions(*rv, x, &rng, opts_);
-      }
-      // Idea#1 disabled: every CDF access recomputes from the seed
-      // parameters (no precomputed vector exists conceptually).
-      OnDemandCdf<Real> on_demand(noise_, u);
-      Real x = NextUniformReal<Real>(&rng, on_demand.Total());
-      VertexId v = DetermineEdgeWithOptions(on_demand, x, &rng, opts_);
-      ++stats->rec_vec_builds;  // counts per-edge recomputation work
-      return v;
-    };
-    while (adj->size() < degree && attempts < max_attempts) {
-      ++attempts;
-      VertexId v = draw_destination();
-      if (exclude_self_loops_ && v == u) continue;
-      if (dedup->Insert(v)) {
-        adj->push_back(v);
-        if (dedup->MemoryBytes() + degree * sizeof(VertexId) >
-            scope_mem.bytes()) {
-          scope_mem.ResizeTo(dedup->MemoryBytes() + degree * sizeof(VertexId));
+
+    auto accept = [&](VertexId v) {
+      if (exclude_self_loops_ && v == u) return;
+      if (dedup.Insert(v)) {
+        adj.push_back(v);
+        const std::uint64_t working =
+            dedup.MemoryBytes() + degree * sizeof(VertexId);
+        if (working > scope_mem.bytes()) {
+          scope_mem.ResizeTo(working);
           stats->peak_scope_bytes =
               std::max(stats->peak_scope_bytes, scope_mem.bytes());
         }
       }
+    };
+
+    if (opts_.reuse_rec_vec && opts_.reuse_random_value) {
+      // Batched hot path. With the cached RecVec and Theorem 2's value
+      // reuse, one attempt consumes exactly one uniform deviate and the
+      // determiner touches no RNG state, so drawing a block up front
+      // consumes the scope's stream in the same order as the scalar loop —
+      // the output is bit-identical, only cheaper.
+      Real xs[kDrawBatch];
+      while (adj.size() < degree && attempts < max_attempts) {
+        std::uint64_t block = degree - adj.size();
+        if (block > kDrawBatch) block = kDrawBatch;
+        if (block > max_attempts - attempts) block = max_attempts - attempts;
+        for (std::uint64_t i = 0; i < block; ++i) {
+          xs[i] = NextUniformReal<Real>(&rng, rv.Total());
+        }
+        attempts += block;
+        stats->cdf_evaluations += block;
+        if (opts_.reduce_recursions) {
+          for (std::uint64_t i = 0; i < block; ++i) {
+            accept(DetermineEdge(rv, xs[i]));
+          }
+        } else {
+          for (std::uint64_t i = 0; i < block; ++i) {
+            accept(DetermineEdgeLinear(rv, xs[i]));
+          }
+        }
+      }
+    } else {
+      // Ablation paths (Figure 13): a fresh deviate may be drawn inside the
+      // determiner (Idea#3 off) or the CDF is recomputed per access
+      // (Idea#1 off), so attempts stay strictly sequential.
+      auto draw_destination = [&]() -> VertexId {
+        ++stats->cdf_evaluations;
+        if (opts_.reuse_rec_vec) {
+          Real x = NextUniformReal<Real>(&rng, rv.Total());
+          return DetermineEdgeWithOptions(rv, x, &rng, opts_);
+        }
+        // Idea#1 disabled: every CDF access recomputes from the seed
+        // parameters (no precomputed vector exists conceptually).
+        OnDemandCdf<Real> on_demand(noise_, u);
+        Real x = NextUniformReal<Real>(&rng, on_demand.Total());
+        VertexId v = DetermineEdgeWithOptions(on_demand, x, &rng, opts_);
+        ++stats->rec_vec_builds;  // counts per-edge recomputation work
+        return v;
+      };
+      while (adj.size() < degree && attempts < max_attempts) {
+        ++attempts;
+        accept(draw_destination());
+      }
     }
 
-    stats->num_edges += adj->size();
+    stats->num_edges += adj.size();
     stats->num_scopes += 1;
-    stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj->size());
-    if (degree_hist_ != nullptr) degree_hist_->Observe(adj->size());
-    if (live_edges_ != nullptr) live_edges_->Add(adj->size());
-    sink->ConsumeScope(u, adj->data(), adj->size());
+    stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj.size());
+    if (degree_hist_ != nullptr) degree_hist_->Observe(adj.size());
+    if (live_edges_ != nullptr) live_edges_->Add(adj.size());
+    sink->ConsumeScope(u, adj.data(), adj.size());
   }
 
  private:

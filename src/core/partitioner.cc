@@ -62,6 +62,38 @@ std::vector<VertexId> PartitionByCdf(const model::NoiseVector& noise,
   return boundaries;
 }
 
+std::vector<VertexId> PartitionRangeByCdf(const model::NoiseVector& noise,
+                                          VertexId lo, VertexId hi,
+                                          int num_bins) {
+  TG_CHECK(num_bins >= 1);
+  TG_CHECK(lo <= hi);
+  std::vector<VertexId> boundaries(num_bins + 1);
+  boundaries[0] = lo;
+  boundaries[num_bins] = hi;
+  const double cum_lo = CumulativeRowProbability(noise, lo);
+  const double cum_hi = CumulativeRowProbability(noise, hi);
+  for (int i = 1; i < num_bins; ++i) {
+    double target =
+        cum_lo + (cum_hi - cum_lo) * static_cast<double>(i) / num_bins;
+    // Smallest u in [lo, hi] with Cum(u) >= target.
+    VertexId a = lo;
+    VertexId b = hi;
+    while (a < b) {
+      VertexId mid = a + (b - a) / 2;
+      if (CumulativeRowProbability(noise, mid) < target) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    boundaries[i] = a;
+  }
+  for (int i = 1; i <= num_bins; ++i) {
+    boundaries[i] = std::max(boundaries[i], boundaries[i - 1]);
+  }
+  return boundaries;
+}
+
 namespace {
 
 /// One bin of Figure 6's combining step: a contiguous vertex range plus its

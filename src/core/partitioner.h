@@ -36,6 +36,15 @@ double CumulativeRowProbability(const model::NoiseVector& noise, VertexId u);
 std::vector<VertexId> PartitionByCdf(const model::NoiseVector& noise,
                                      int num_bins);
 
+/// `PartitionByCdf` restricted to the vertex range [lo, hi): returns
+/// `num_bins + 1` boundaries b_0 = lo <= ... <= b_num_bins = hi such that
+/// each [b_i, b_{i+1}) carries ~1/num_bins of the range's expected edge
+/// mass. Used by the work-stealing scheduler to split a worker's range into
+/// chunks of equal expected mass (src/core/scheduler.h).
+std::vector<VertexId> PartitionRangeByCdf(const model::NoiseVector& noise,
+                                          VertexId lo, VertexId hi,
+                                          int num_bins);
+
 /// Figure 6 protocol. `thread_ranges` gives each thread's contiguous vertex
 /// range (equal vertex counts, as in the paper's combining step); each thread
 /// combines its per-vertex expected sizes into bins of ~|E|/p mass, the

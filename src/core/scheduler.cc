@@ -1,0 +1,236 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/partitioner.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/stopwatch.h"
+
+namespace tg::core {
+
+double CpuImbalance(const std::vector<double>& worker_cpu_seconds) {
+  if (worker_cpu_seconds.empty()) return 1.0;
+  double sum = 0.0;
+  double max_cpu = 0.0;
+  for (double c : worker_cpu_seconds) {
+    sum += c;
+    max_cpu = std::max(max_cpu, c);
+  }
+  const double mean = sum / static_cast<double>(worker_cpu_seconds.size());
+  return mean > 0.0 ? max_cpu / mean : 1.0;
+}
+
+std::vector<std::vector<Chunk>> BuildChunkQueues(
+    const model::NoiseVector& noise, const std::vector<VertexId>& boundaries,
+    int chunks_per_worker) {
+  TG_CHECK(chunks_per_worker >= 1);
+  TG_CHECK(boundaries.size() >= 2);
+  const int num_ranges = static_cast<int>(boundaries.size()) - 1;
+  std::vector<std::vector<Chunk>> queues(num_ranges);
+  for (int r = 0; r < num_ranges; ++r) {
+    const std::vector<VertexId> sub = PartitionRangeByCdf(
+        noise, boundaries[r], boundaries[r + 1], chunks_per_worker);
+    queues[r].reserve(chunks_per_worker);
+    for (int i = 0; i < chunks_per_worker; ++i) {
+      queues[r].push_back(Chunk{r, static_cast<std::uint32_t>(i), sub[i],
+                                sub[i + 1]});
+    }
+  }
+  return queues;
+}
+
+int ChunksPerWorkerFromEnv(int fallback) {
+  const char* value = std::getenv("TG_CHUNKS_PER_WORKER");
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed >= 1 ? parsed : fallback;
+}
+
+namespace {
+
+/// One worker's deque of runnable chunks. The owner pops from the front
+/// (vertex order, so its own sink commits mostly in order); thieves take
+/// from the back — the work the owner would reach last. Chunks are coarse
+/// (milliseconds), so a plain mutex per deque costs nothing measurable and
+/// keeps the engine trivially ThreadSanitizer-clean.
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<Chunk> q;
+};
+
+/// Per-range commit state: the reorder buffer that turns
+/// completed-in-any-order chunks back into in-vertex-order sink delivery.
+struct RangeCommit {
+  std::mutex mu;
+  std::uint32_t next_seq = 0;  ///< next chunk seq the sink may receive
+  std::uint32_t total = 0;     ///< chunks this range was split into
+  std::map<std::uint32_t, ChunkBuffer> parked;  ///< done but out of order
+  ScopeSink* sink = nullptr;
+};
+
+}  // namespace
+
+SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
+                               const std::vector<ScopeSink*>& sinks,
+                               const WorkerFactory& make_worker,
+                               const SchedulerOptions& options) {
+  const int num_workers = static_cast<int>(queues.size());
+  const int num_ranges = static_cast<int>(sinks.size());
+  TG_CHECK(num_workers >= 1);
+  TG_CHECK(options.steal_domain.empty() ||
+           static_cast<int>(options.steal_domain.size()) == num_workers);
+  TG_CHECK(options.machine_tags.empty() ||
+           static_cast<int>(options.machine_tags.size()) == num_workers);
+
+  std::vector<WorkerDeque> deques(num_workers);
+  std::vector<RangeCommit> ranges(num_ranges);
+  for (int w = 0; w < num_workers; ++w) {
+    for (const Chunk& c : queues[w]) {
+      TG_CHECK(c.range >= 0 && c.range < num_ranges);
+      ++ranges[c.range].total;
+      deques[w].q.push_back(c);
+    }
+  }
+  for (int r = 0; r < num_ranges; ++r) {
+    TG_CHECK(sinks[r] != nullptr);
+    ranges[r].sink = sinks[r];
+    // A range with no chunks will never commit; honor the Finish contract.
+    if (ranges[r].total == 0) sinks[r]->Finish();
+  }
+
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::vector<double> cpu(num_workers, 0.0);
+
+  auto domain_of = [&](int w) {
+    return options.steal_domain.empty() ? 0 : options.steal_domain[w];
+  };
+
+  auto try_pop_own = [&](int w, Chunk* out) {
+    WorkerDeque& wd = deques[w];
+    std::lock_guard<std::mutex> lock(wd.mu);
+    if (wd.q.empty()) return false;
+    *out = wd.q.front();
+    wd.q.pop_front();
+    return true;
+  };
+
+  auto try_steal = [&](int w, Chunk* out) {
+    const int domain = domain_of(w);
+    while (true) {
+      // Pick the busiest victim in our steal domain, then take from its
+      // tail. One lock at a time, so no lock-order concerns.
+      int victim = -1;
+      std::size_t victim_size = 0;
+      for (int v = 0; v < num_workers; ++v) {
+        if (v == w || domain_of(v) != domain) continue;
+        std::lock_guard<std::mutex> lock(deques[v].mu);
+        if (deques[v].q.size() > victim_size) {
+          victim = v;
+          victim_size = deques[v].q.size();
+        }
+      }
+      if (victim < 0) return false;  // domain fully drained
+      std::lock_guard<std::mutex> lock(deques[victim].mu);
+      if (deques[victim].q.empty()) continue;  // lost the race; rescan
+      *out = deques[victim].q.back();
+      deques[victim].q.pop_back();
+      return true;
+    }
+  };
+
+  // Flushes `buf` to its range's sink if it is the next chunk in vertex
+  // order, else parks it; then drains any parked successors. The range
+  // mutex doubles as the serializer for the (not thread-safe) sink.
+  auto commit = [&](const Chunk& c, ChunkBuffer* buf) {
+    RangeCommit& rc = ranges[c.range];
+    std::lock_guard<std::mutex> lock(rc.mu);
+    if (c.seq != rc.next_seq) {
+      rc.parked.emplace(c.seq, std::move(*buf));
+      return;
+    }
+    buf->FlushTo(rc.sink);
+    ++rc.next_seq;
+    while (!rc.parked.empty() && rc.parked.begin()->first == rc.next_seq) {
+      rc.parked.begin()->second.FlushTo(rc.sink);
+      rc.parked.erase(rc.parked.begin());
+      ++rc.next_seq;
+    }
+    if (rc.next_seq == rc.total) rc.sink->Finish();
+  };
+
+  auto worker_body = [&](int w) {
+    obs::ScopedMachine machine_tag(
+        options.machine_tags.empty() ? w : options.machine_tags[w]);
+    TG_SPAN("avs.generate");
+    const double cpu_start = ThreadCpuSeconds();
+    try {
+      ChunkFn fn = make_worker(w);
+      ChunkBuffer local;
+      Chunk c;
+      while (!abort.load(std::memory_order_relaxed)) {
+        bool stolen = false;
+        if (!try_pop_own(w, &c)) {
+          if (!try_steal(w, &c)) break;
+          stolen = true;
+        }
+        {
+          TG_SPAN("sched.chunk");
+          local.Clear();
+          fn(c, &local);
+        }
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+        commit(c, &local);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
+    }
+    cpu[w] = ThreadCpuSeconds() - cpu_start;
+  };
+
+  if (num_workers == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) threads.emplace_back(worker_body, w);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  SchedulerStats stats;
+  stats.num_chunks = executed.load(std::memory_order_relaxed);
+  stats.num_steals = steals.load(std::memory_order_relaxed);
+  stats.worker_cpu_seconds = cpu;
+  for (double c : cpu) {
+    stats.max_worker_cpu_seconds = std::max(stats.max_worker_cpu_seconds, c);
+  }
+  stats.imbalance = CpuImbalance(cpu);
+
+  // Phase-boundary recording: a handful of ops per run, always on (like
+  // RecordAvsStats). Set (not Max) so one report per bench row reflects the
+  // row's own run.
+  obs::GetCounter("sched.chunks")->Add(stats.num_chunks);
+  obs::GetCounter("sched.steals")->Add(stats.num_steals);
+  obs::GetGauge("sched.imbalance")->Set(stats.imbalance);
+  return stats;
+}
+
+}  // namespace tg::core

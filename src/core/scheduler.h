@@ -1,0 +1,145 @@
+// core/scheduler.h — the deterministic work-stealing generation engine.
+//
+// The paper's expected-edge-mass partitioning (Figure 6) balances workers
+// only in expectation: realized scope degrees are skewed, so a static
+// one-thread-per-range driver is bound by its slowest worker. Because every
+// scope's RNG stream is forked from the vertex id alone (rng::Rng::Fork(u)),
+// scope generation is embarrassingly parallel at any granularity — WHO
+// generates a scope cannot change WHAT is generated. This engine exploits
+// that: each CDF-partitioned range is split into `chunks_per_worker` chunks
+// of equal expected mass, chunks start on their owner's deque, and idle
+// workers steal from the tail of the fullest deque. Generated chunks are
+// buffered and committed to the owning range's sink strictly in chunk order,
+// so every ScopeSink still observes its scopes in increasing vertex order —
+// the output is bit-identical for any worker count and any chunking.
+#ifndef TRILLIONG_CORE_SCHEDULER_H_
+#define TRILLIONG_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/scope_sink.h"
+#include "model/noise.h"
+#include "util/common.h"
+
+namespace tg::core {
+
+/// Default chunks per worker: enough slack for stealing to erase realized
+/// skew (Figure 12's max-CPU vs wall gap) while keeping per-chunk overhead —
+/// one deque pop, one reorder-buffer commit — far below generation cost.
+inline constexpr int kDefaultChunksPerWorker = 16;
+
+/// One unit of schedulable work: chunk `seq` of owner range `range`,
+/// covering scopes [lo, hi). Chunks of a range are numbered 0..n-1 in vertex
+/// order; the commit protocol releases them to the range's sink in exactly
+/// that order.
+struct Chunk {
+  int range = 0;
+  std::uint32_t seq = 0;
+  VertexId lo = 0;
+  VertexId hi = 0;
+};
+
+/// Buffered output of one generated chunk: scope-packed adjacency. A worker
+/// generates into the buffer, then the commit protocol flushes it to the
+/// owner range's (single-threaded) sink once every earlier chunk of that
+/// range has been flushed. Capacity persists across Clear(), so the
+/// in-order common case recycles one buffer per worker.
+class ChunkBuffer : public ScopeSink {
+ public:
+  void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override {
+    scopes_.push_back({u, adj_.size(), n});
+    adj_.insert(adj_.end(), adj, adj + n);
+  }
+
+  void Clear() {
+    adj_.clear();
+    scopes_.clear();
+  }
+
+  /// Replays the buffered scopes, in order, into `sink`.
+  void FlushTo(ScopeSink* sink) const {
+    for (const ScopeRef& s : scopes_) {
+      sink->ConsumeScope(s.u, adj_.data() + s.offset, s.n);
+    }
+  }
+
+  std::size_t num_scopes() const { return scopes_.size(); }
+  std::size_t num_edges() const { return adj_.size(); }
+
+ private:
+  struct ScopeRef {
+    VertexId u;
+    std::size_t offset;
+    std::size_t n;
+  };
+  std::vector<VertexId> adj_;
+  std::vector<ScopeRef> scopes_;
+};
+
+/// Scheduling policy knobs.
+struct SchedulerOptions {
+  /// Steal domain of each worker; a worker only steals from deques in its
+  /// own domain. Empty means one shared domain (the in-process driver). The
+  /// cluster driver maps each simulated machine to its own domain — threads
+  /// of one machine share memory, machines do not.
+  std::vector<int> steal_domain;
+  /// Simulated-machine tag installed on each worker thread (obs span and
+  /// per-machine stat attribution). Empty means tag worker w as machine w,
+  /// matching the in-process driver's convention.
+  std::vector<int> machine_tags;
+};
+
+/// What the engine measured about one run.
+struct SchedulerStats {
+  std::uint64_t num_chunks = 0;  ///< chunks executed (all workers)
+  std::uint64_t num_steals = 0;  ///< chunks executed off their owner's deque
+  /// max/mean per-worker CPU seconds — 1.0 is a perfectly balanced run; the
+  /// static driver's gap between max worker CPU and mean shows up here.
+  double imbalance = 1.0;
+  double max_worker_cpu_seconds = 0.0;
+  std::vector<double> worker_cpu_seconds;  ///< one entry per worker
+};
+
+/// Computes `imbalance` (max/mean, 1.0 when idle) from per-worker CPU times.
+double CpuImbalance(const std::vector<double>& worker_cpu_seconds);
+
+/// The body a worker runs for one chunk: generate scopes [lo, hi) of
+/// `chunk` into `buffer` (already cleared). Must be deterministic in the
+/// chunk alone — it runs on whichever thread got the chunk.
+using ChunkFn = std::function<void(const Chunk& chunk, ChunkBuffer* buffer)>;
+
+/// Called once per worker, on that worker's thread, before it starts taking
+/// chunks — the place to build per-worker scratch (generator, ScopeScratch,
+/// stats slot) captured by the returned ChunkFn.
+using WorkerFactory = std::function<ChunkFn(int worker)>;
+
+/// Splits each range [boundaries[r], boundaries[r+1]) into exactly
+/// `chunks_per_worker` chunks whose boundaries are found by the same
+/// closed-form CDF inversion as the range partition itself (PartitionByCdf
+/// restricted to the range), so chunks carry ~equal *expected* edge mass.
+/// Queue r holds the chunks of range r, in vertex order.
+std::vector<std::vector<Chunk>> BuildChunkQueues(
+    const model::NoiseVector& noise, const std::vector<VertexId>& boundaries,
+    int chunks_per_worker);
+
+/// Runs every chunk in `queues` on queues.size() worker threads with
+/// work stealing. `sinks[r]` receives range r's scopes in vertex order and
+/// its Finish() exactly once, after the last chunk of r commits. Rethrows
+/// the first worker exception (e.g. OomError) after all workers stop.
+/// Records `sched.chunks` / `sched.steals` counters and the
+/// `sched.imbalance` gauge in the global obs registry.
+SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
+                               const std::vector<ScopeSink*>& sinks,
+                               const WorkerFactory& make_worker,
+                               const SchedulerOptions& options = {});
+
+/// The TG_CHUNKS_PER_WORKER environment hook used by the figure benches
+/// (mirrors the TG_METRICS_JSON-style ObsSession hooks): returns the parsed
+/// value when the variable is set to a positive integer, else `fallback`.
+int ChunksPerWorkerFromEnv(int fallback = kDefaultChunksPerWorker);
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_SCHEDULER_H_

@@ -1,0 +1,85 @@
+#ifndef TRILLIONG_CORE_SCOPE_DEDUP_H_
+#define TRILLIONG_CORE_SCOPE_DEDUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/flat_set64.h"
+
+namespace tg::core {
+
+/// Per-scope duplicate eliminator with two representations, picked per scope
+/// by expected density:
+///
+///  * sparse scopes (the overwhelming majority under a power-law seed) use
+///    FlatSet64 — O(d) memory for a degree-d scope;
+///  * dense scopes, where the sampled degree exceeds 1/64 of the scope's
+///    reachable destination range, use a plain bitmap over [0, |V|) — |V|/8
+///    bytes is then at most 8 bytes per expected entry, cheaper than the
+///    ~16-32 bytes/entry the hash table costs, and Insert degrades to a
+///    branch-free test-and-set with no probe chains.
+///
+/// The mode depends only on (degree, universe), both of which are derived
+/// from the scope's own RNG stream, so the choice — and therefore the
+/// generated graph — is independent of worker count and chunking.
+///
+/// Both backing stores persist across Reset calls (capacity is never
+/// released), so a per-worker instance reused for millions of scopes
+/// allocates only on high-water marks.
+class ScopeDedup {
+ public:
+  /// Entries per bitmap word: the density threshold is degree > universe/64,
+  /// i.e. at least one expected entry per word of the bitmap.
+  static constexpr std::uint64_t kDenseDivisor = 64;
+
+  /// Clears the structure and picks the representation for a scope expected
+  /// to hold `degree` distinct destinations drawn from [0, universe).
+  void Reset(std::uint64_t degree, VertexId universe) {
+    dense_ = universe != 0 && degree > universe / kDenseDivisor;
+    if (dense_) {
+      words_ = static_cast<std::size_t>((universe + 63) / 64);
+      bits_.assign(words_, 0);  // keeps capacity; wipes at most 8B/entry
+    } else {
+      set_.Reset(static_cast<std::size_t>(degree));
+    }
+    size_ = 0;
+  }
+
+  /// Inserts `v`; returns true if it was newly added.
+  bool Insert(VertexId v) {
+    if (dense_) {
+      std::uint64_t& word = bits_[static_cast<std::size_t>(v >> 6)];
+      const std::uint64_t mask = std::uint64_t{1} << (v & 63);
+      if ((word & mask) != 0) return false;
+      word |= mask;
+      ++size_;
+      return true;
+    }
+    if (set_.Insert(v)) {
+      ++size_;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool dense() const { return dense_; }
+
+  /// Bytes held by the active representation (the other one's retained
+  /// capacity is idle scratch, charged once per worker, not per scope).
+  std::size_t MemoryBytes() const {
+    return dense_ ? words_ * sizeof(std::uint64_t) : set_.MemoryBytes();
+  }
+
+ private:
+  FlatSet64 set_;
+  std::vector<std::uint64_t> bits_;
+  std::size_t words_ = 0;
+  std::size_t size_ = 0;
+  bool dense_ = false;
+};
+
+}  // namespace tg::core
+
+#endif  // TRILLIONG_CORE_SCOPE_DEDUP_H_

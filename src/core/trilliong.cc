@@ -1,12 +1,12 @@
 #include "core/trilliong.h"
 
 #include <algorithm>
-#include <exception>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "core/avs_generator.h"
 #include "core/partitioner.h"
+#include "core/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/stopwatch.h"
@@ -51,41 +51,59 @@ GenerateStats RunTyped(const TrillionGConfig& config,
                                     config.exclude_self_loops);
 
   std::vector<AvsWorkerStats> worker_stats(config.num_workers);
-  std::vector<std::exception_ptr> errors(config.num_workers);
   std::vector<double> worker_cpu(config.num_workers, 0.0);
 
-  auto run_worker = [&](int w) {
-    // In-process runs tag each worker as its own simulated machine, so span
-    // and stat breakdowns line up with the cluster driver's.
-    obs::ScopedMachine machine_tag(w);
-    TG_SPAN("avs.generate");
-    double cpu_start = ThreadCpuSeconds();
-    try {
-      VertexId lo = boundaries[w];
-      VertexId hi = boundaries[w + 1];
-      std::unique_ptr<ScopeSink> sink = sink_factory(w, lo, hi);
-      TG_CHECK(sink != nullptr);
-      worker_stats[w] = generator.GenerateRange(lo, hi, root, sink.get());
-      sink->Finish();
-    } catch (...) {
-      errors[w] = std::current_exception();
-    }
-    worker_cpu[w] = ThreadCpuSeconds() - cpu_start;
-  };
-
   if (config.num_workers == 1) {
-    run_worker(0);
+    // Single worker: no scheduling to do — run directly on the calling
+    // thread (GenerateToSink relies on this) with the same per-worker
+    // scratch reuse the scheduler path gets.
+    obs::ScopedMachine machine_tag(0);
+    TG_SPAN("avs.generate");
+    const double cpu_start = ThreadCpuSeconds();
+    std::unique_ptr<ScopeSink> sink =
+        sink_factory(0, boundaries[0], boundaries[1]);
+    TG_CHECK(sink != nullptr);
+    ScopeScratch<Real> scratch;
+    generator.GenerateRange(boundaries[0], boundaries[1], root, &scratch,
+                            &worker_stats[0], sink.get());
+    sink->Finish();
+    worker_cpu[0] = ThreadCpuSeconds() - cpu_start;
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(config.num_workers);
-    for (int w = 0; w < config.num_workers; ++w) {
-      threads.emplace_back(run_worker, w);
-    }
-    for (std::thread& t : threads) t.join();
-  }
+    // Work-stealing path: split each worker's range into chunks of equal
+    // expected mass; per-scope RNG forking makes the output bit-identical
+    // to the static schedule no matter which thread runs which chunk.
+    const int chunks_per_worker = std::max(config.chunks_per_worker, 1);
+    const std::vector<std::vector<Chunk>> queues =
+        BuildChunkQueues(noise, boundaries, chunks_per_worker);
 
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    std::vector<std::unique_ptr<ScopeSink>> sinks;
+    std::vector<ScopeSink*> sink_ptrs;
+    sinks.reserve(config.num_workers);
+    sink_ptrs.reserve(config.num_workers);
+    for (int w = 0; w < config.num_workers; ++w) {
+      sinks.push_back(sink_factory(w, boundaries[w], boundaries[w + 1]));
+      TG_CHECK(sinks.back() != nullptr);
+      sink_ptrs.push_back(sinks.back().get());
+    }
+
+    auto make_worker = [&](int w) -> ChunkFn {
+      // shared_ptr because ChunkFn (std::function) must be copyable; the
+      // scratch itself is only ever touched by worker w's thread.
+      auto scratch = std::make_shared<ScopeScratch<Real>>();
+      AvsWorkerStats* stats_slot = &worker_stats[w];
+      return [&generator, &root, scratch, stats_slot](const Chunk& c,
+                                                      ChunkBuffer* buffer) {
+        generator.GenerateRange(c.lo, c.hi, root, scratch.get(), stats_slot,
+                                buffer);
+      };
+    };
+
+    const SchedulerStats sched =
+        RunWorkStealing(queues, sink_ptrs, make_worker, SchedulerOptions{});
+    worker_cpu = sched.worker_cpu_seconds;
+    stats.sched_chunks = sched.num_chunks;
+    stats.sched_steals = sched.num_steals;
+    stats.sched_imbalance = sched.imbalance;
   }
 
   AvsWorkerStats merged;

@@ -36,6 +36,12 @@ struct TrillionGConfig {
   std::uint64_t rng_seed = 42;
   /// Worker threads ("machines x threads" of the paper's cluster).
   int num_workers = 1;
+  /// Work-stealing granularity: each worker's CDF-partitioned range is split
+  /// into this many chunks of equal expected edge mass, and idle workers
+  /// steal chunks from busy ones (src/core/scheduler.h). 1 restores the
+  /// static one-range-per-worker schedule. Output is bit-identical for any
+  /// value. Ignored when num_workers == 1.
+  int chunks_per_worker = 16;
   Precision precision = Precision::kDouble;
   Direction direction = Direction::kOut;
   /// Ablation toggles for the three key ideas (Figure 13).
@@ -48,7 +54,15 @@ struct TrillionGConfig {
 
   std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
   std::uint64_t NumEdges() const {
-    return num_edges != 0 ? num_edges : edge_factor << scale;
+    if (num_edges != 0) return num_edges;
+    // edge_factor << scale overflows silently for large runs (e.g. factor
+    // 2^20 at scale 48); widen to 128 bits and fail loudly instead.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(edge_factor)
+        << static_cast<unsigned>(scale);
+    TG_CHECK_MSG(product <= ~std::uint64_t{0},
+                 "edge_factor << scale overflows uint64");
+    return static_cast<std::uint64_t>(product);
   }
 };
 
@@ -69,6 +83,12 @@ struct GenerateStats {
   /// every worker has its own core (used by the cluster-comparison benches
   /// on oversubscribed hosts).
   double max_worker_cpu_seconds = 0.0;
+  /// Work-stealing scheduler observations (all zero / 1.0 when the static
+  /// single-range path ran, i.e. num_workers == 1 or chunks_per_worker == 1).
+  std::uint64_t sched_chunks = 0;
+  std::uint64_t sched_steals = 0;
+  /// max/mean per-worker CPU seconds; 1.0 is perfectly balanced.
+  double sched_imbalance = 1.0;
 };
 
 /// Creates one sink per worker. Called before generation starts, with the

@@ -173,6 +173,10 @@ void PreregisterCanonicalMetrics() {
   r.GetGauge("avs.recvec_levels");
   r.GetGauge("avs.max_degree");
   r.GetGauge("mem.peak_scope_bytes");
+  // Work-stealing scheduler (core/scheduler.cc).
+  r.GetCounter("sched.chunks");
+  r.GetCounter("sched.steals");
+  r.GetGauge("sched.imbalance");
   // Simulated cluster (cluster/sim_cluster.h, cluster/network_model.h).
   r.GetCounter("cluster.shuffled_bytes");
   r.GetCounter("cluster.control_bytes");

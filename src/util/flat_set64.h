@@ -1,6 +1,7 @@
 #ifndef TRILLIONG_UTIL_FLAT_SET64_H_
 #define TRILLIONG_UTIL_FLAT_SET64_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,12 @@ namespace tg {
 /// is deliberately compact: one 8-byte slot per entry at a 50% max load
 /// factor, no per-entry allocation.
 ///
+/// Reset() is called once per scope by the generator's per-worker scratch
+/// state, so it is built to be reused millions of times: the table never
+/// shrinks, and clearing erases only the slots occupied since the last reset
+/// (logged at insert time) whenever that beats a full wipe. A run of small
+/// scopes after one huge scope therefore pays O(d) per scope, not O(d_max).
+///
 /// The value kEmpty (2^64-1) cannot be stored; vertex IDs are < 2^48 in all
 /// supported formats so this never constrains callers.
 class FlatSet64 {
@@ -22,19 +29,25 @@ class FlatSet64 {
 
   explicit FlatSet64(std::size_t expected_size = 8) { Reset(expected_size); }
 
-  /// Clears the set and reserves capacity for `expected_size` entries.
+  /// Clears the set and reserves capacity for `expected_size` entries. The
+  /// backing table only ever grows; when the previous use touched few slots
+  /// relative to the table, only those slots are wiped.
   void Reset(std::size_t expected_size) {
     std::size_t cap = 16;
     while (cap < expected_size * 2) cap <<= 1;
-    slots_.assign(cap, kEmpty);
-    mask_ = cap - 1;
+    if (cap > slots_.size()) {
+      slots_.assign(cap, kEmpty);
+      mask_ = cap - 1;
+    } else if (used_.size() * 4 < slots_.size()) {
+      for (std::uint32_t i : used_) slots_[i] = kEmpty;
+    } else {
+      std::fill(slots_.begin(), slots_.end(), kEmpty);
+    }
+    used_.clear();
     size_ = 0;
   }
 
-  void Clear() {
-    std::fill(slots_.begin(), slots_.end(), kEmpty);
-    size_ = 0;
-  }
+  void Clear() { Reset(0); }
 
   /// Inserts `key`; returns true if it was newly added.
   bool Insert(std::uint64_t key) {
@@ -45,6 +58,7 @@ class FlatSet64 {
       std::uint64_t slot = slots_[i];
       if (slot == kEmpty) {
         slots_[i] = key;
+        used_.push_back(static_cast<std::uint32_t>(i));
         ++size_;
         return true;
       }
@@ -65,14 +79,18 @@ class FlatSet64 {
 
   std::size_t size() const { return size_; }
 
-  /// Bytes held by the backing array (for peak-memory accounting).
-  std::size_t MemoryBytes() const { return slots_.size() * sizeof(slots_[0]); }
+  /// Bytes held by the backing array plus the occupied-slot log (for
+  /// peak-memory accounting).
+  std::size_t MemoryBytes() const {
+    return slots_.size() * sizeof(slots_[0]) +
+           used_.capacity() * sizeof(used_[0]);
+  }
 
   /// Visits every stored key (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (std::uint64_t slot : slots_) {
-      if (slot != kEmpty) fn(slot);
+    for (std::uint32_t i : used_) {
+      if (slots_[i] != kEmpty) fn(slots_[i]);
     }
   }
 
@@ -88,16 +106,24 @@ class FlatSet64 {
   }
 
   void Grow() {
+    // 32-bit slot indices cap the table at 2^32 slots = 2^31 entries; far
+    // above any realizable scope degree (d_max << |V| <= 2^48 only in theory;
+    // a 2^31-entry scope would already exhaust the adjacency buffer first).
+    TG_CHECK(slots_.size() * 2 <= (std::size_t{1} << 32));
     std::vector<std::uint64_t> old = std::move(slots_);
     slots_.assign(old.size() * 2, kEmpty);
     mask_ = slots_.size() - 1;
     size_ = 0;
+    used_.clear();
     for (std::uint64_t key : old) {
       if (key != kEmpty) Insert(key);
     }
   }
 
   std::vector<std::uint64_t> slots_;
+  /// Slot indices written since the last Reset, in insertion order. Enables
+  /// the O(#entries) targeted clear; rebuilt by Grow().
+  std::vector<std::uint32_t> used_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };

@@ -122,6 +122,54 @@ TEST(PartitionerTest, CombineProtocolAgreesWithCdfApproximately) {
   EXPECT_EQ(by_combine.back(), VertexId{1} << scale);
 }
 
+TEST(PartitionerTest, RangeCdfMatchesWholeRangePartition) {
+  // Restricting to [0, |V|) uses the same targets as PartitionByCdf, so the
+  // boundaries must agree exactly.
+  const int scale = 14;
+  NoiseVector noise(SeedMatrix::Graph500(), scale);
+  for (int bins : {1, 3, 16}) {
+    EXPECT_EQ(PartitionRangeByCdf(noise, 0, VertexId{1} << scale, bins),
+              PartitionByCdf(noise, bins));
+  }
+}
+
+TEST(PartitionerTest, RangeCdfSubdividesEachBinEvenly) {
+  // Splitting each top-level bin into sub-bins must stay inside the bin,
+  // cover it exactly, and carry ~equal shares of the bin's own mass — the
+  // property the work-stealing scheduler's chunks rely on.
+  const int scale = 16;
+  SeedMatrix seed(0.7, 0.15, 0.1, 0.05);
+  NoiseVector noise(seed, scale);
+  EdgeProbability prob(seed, scale);
+  const int bins = 4;
+  const int sub_bins = 8;
+  std::vector<VertexId> outer = PartitionByCdf(noise, bins);
+  for (int i = 0; i < bins; ++i) {
+    std::vector<VertexId> inner =
+        PartitionRangeByCdf(noise, outer[i], outer[i + 1], sub_bins);
+    ASSERT_EQ(inner.size(), static_cast<std::size_t>(sub_bins + 1));
+    EXPECT_EQ(inner.front(), outer[i]);
+    EXPECT_EQ(inner.back(), outer[i + 1]);
+    const double bin_mass = prob.CumulativeRowProbability(outer[i + 1]) -
+                            prob.CumulativeRowProbability(outer[i]);
+    for (int j = 0; j < sub_bins; ++j) {
+      EXPECT_GE(inner[j + 1], inner[j]);
+      double mass = prob.CumulativeRowProbability(inner[j + 1]) -
+                    prob.CumulativeRowProbability(inner[j]);
+      EXPECT_NEAR(mass, bin_mass / sub_bins,
+                  0.05 * bin_mass + 2 * prob.MaxRowProbability())
+          << "bin " << i << " sub " << j;
+    }
+  }
+}
+
+TEST(PartitionerTest, RangeCdfEmptyRange) {
+  NoiseVector noise(SeedMatrix::Graph500(), 10);
+  std::vector<VertexId> b = PartitionRangeByCdf(noise, 100, 100, 4);
+  ASSERT_EQ(b.size(), 5u);
+  for (VertexId v : b) EXPECT_EQ(v, 100u);
+}
+
 TEST(PartitionerTest, SingleBinIsWholeRange) {
   NoiseVector noise(SeedMatrix::Graph500(), 10);
   std::vector<VertexId> b = PartitionByCdf(noise, 1);
