@@ -23,12 +23,14 @@ namespace {
 // like the paper's Figure 11(a).
 constexpr int kMinScale = 14;
 constexpr int kMaxScale = 19;
-constexpr std::uint64_t kBudgetBytes = 96ULL << 20;
+constexpr std::uint64_t kDefaultBudgetBytes = 96ULL << 20;
 
 }  // namespace
 
 int main() {
   tg::bench::ObsSession obs_session("bench_fig11a");
+  const std::uint64_t kBudgetBytes =
+      tg::bench::BudgetBytesFromEnv(kDefaultBudgetBytes);
   tg::bench::Banner(
       "Figure 11(a): single-threaded methods, scales 14-19, 96 MiB budget",
       "Park & Kim, SIGMOD'17, Figure 11(a)",
@@ -100,5 +102,6 @@ int main() {
   std::printf(
       "\nNote: RMAT baselines discard edges (pure generation+dedup cost); "
       "TrillionG additionally wrote ADJ6 output.\n");
+  tg::bench::PrintLastOom();
   return 0;
 }

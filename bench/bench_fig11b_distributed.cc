@@ -25,12 +25,13 @@ namespace {
 // 15-19.
 constexpr int kMachines = 4;
 constexpr int kThreads = 1;
-constexpr std::uint64_t kBudgetBytes = 48ULL << 20;
+constexpr std::uint64_t kDefaultBudgetBytes = 48ULL << 20;
 constexpr int kMinScale = 15;
 constexpr int kMaxScale = 19;
 
 tg::cluster::SimCluster::Options ClusterOptions() {
-  return {kMachines, kThreads, kBudgetBytes,
+  return {kMachines, kThreads,
+          tg::bench::BudgetBytesFromEnv(kDefaultBudgetBytes),
           tg::cluster::NetworkModel::OneGigabitEthernet()};
 }
 
@@ -74,7 +75,8 @@ int main() {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.3f", elapsed);
         cell = buf;
-      } catch (const tg::OomError&) {
+      } catch (const tg::OomError& e) {
+        tg::obs::RecordOom(e.report());
         cell = "O.O.M";
       }
       std::printf(" %12s", cell.c_str());
@@ -111,7 +113,8 @@ int main() {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.3f", stats.TotalSeconds());
         cell = buf;
-      } catch (const tg::OomError&) {
+      } catch (const tg::OomError& e) {
+        tg::obs::RecordOom(e.report());
         cell = "O.O.M";
       }
       std::printf(" %14s", cell.c_str());
@@ -123,5 +126,6 @@ int main() {
   std::printf(
       "\nNote: RMAT/p columns include simulated 1 GbE shuffle time; "
       "TrillionG is shuffle-free by construction (AVS partitioning).\n");
+  tg::bench::PrintLastOom();
   return 0;
 }

@@ -7,11 +7,13 @@
 #include <memory>
 #include <string>
 
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/common.h"
+#include "util/flags.h"
 #include "util/stopwatch.h"
 
 namespace tg::bench {
@@ -29,17 +31,43 @@ inline void Banner(const std::string& title, const std::string& paper_ref,
 
 /// Runs `fn`, returning formatted elapsed seconds — or "O.O.M" if the run
 /// exceeded its memory budget (exactly how the paper's figures annotate
-/// methods that die; Figures 11 and 14).
+/// methods that die; Figures 11 and 14). The caught OomError's forensics are
+/// recorded via obs::RecordOom, so a later RunReport carries the mem.oom
+/// section naming the failing machine/tag (PrintLastOom shows it inline).
 inline std::string TimeOrOom(const std::function<void()>& fn) {
   Stopwatch watch;
   try {
     fn();
-  } catch (const OomError&) {
+  } catch (const OomError& e) {
+    obs::RecordOom(e.report());
     return "O.O.M";
   }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", watch.ElapsedSeconds());
   return buf;
+}
+
+/// Prints the forensics of the most recent O.O.M (no-op when none): which
+/// machine and tag tripped, plus the per-tag byte breakdown at death.
+inline void PrintLastOom() {
+  if (auto oom = obs::LastOom()) {
+    std::printf("\nlast O.O.M forensics:\n%s", oom->ToString().c_str());
+  }
+}
+
+/// Byte budget for the figure benches, overridable with a human-readable
+/// TG_MEM_BUDGET ("48m", "2g", ...) so one env var re-runs a whole sweep at
+/// a different simulated machine size.
+inline std::uint64_t BudgetBytesFromEnv(std::uint64_t default_bytes) {
+  const char* text = std::getenv("TG_MEM_BUDGET");
+  if (text == nullptr || text[0] == '\0') return default_bytes;
+  std::uint64_t bytes = 0;
+  if (!ParseByteSize(text, &bytes)) {
+    std::fprintf(stderr, "warning: TG_MEM_BUDGET: unparseable byte size \"%s\"\n",
+                 text);
+    return default_bytes;
+  }
+  return bytes;
 }
 
 /// Opt-in observability hook shared by every figure bench, driven by

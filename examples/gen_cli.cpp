@@ -18,6 +18,7 @@
 #include "format/adj6.h"
 #include "format/csr6.h"
 #include "format/tsv.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/sampler.h"
@@ -60,6 +61,12 @@ int main(int argc, char** argv) {
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
         "       [--metrics_json=PATH] [--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
+        "       [--mem_budget=SIZE] [--oom_report=PATH]\n"
+        "--mem_budget caps the generator's logical working set (accepts\n"
+        "human sizes: 512m, 2g, 64k, plain bytes); exceeding it aborts the\n"
+        "run with an OomError whose forensics (machine, tag, per-tag byte\n"
+        "breakdown, span stack) are printed — and written as standalone\n"
+        "JSON when --oom_report is given.\n"
         "--metrics_json writes a structured tg::obs run report (JSON; see\n"
         "docs/OBSERVABILITY.md); --metrics_table prints it human-readable.\n"
         "--trace_json writes a Chrome Trace Event file (open in Perfetto or\n"
@@ -99,6 +106,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A budget of 0 tracks peaks without capping; any other value turns the
+  // budget into a hard cap that reproduces the paper's O.O.M behaviour.
+  const std::uint64_t mem_budget_bytes = flags.GetBytes("mem_budget", 0);
+  tg::MemoryBudget budget(mem_budget_bytes);
+  config.budget = &budget;
+  const std::string oom_report_path = flags.GetString("oom_report", "");
+
   const std::string metrics_json = flags.GetString("metrics_json", "");
   const std::string trace_json = flags.GetString("trace_json", "");
   const bool metrics_table = flags.GetBool("metrics_table", false);
@@ -130,30 +144,51 @@ int main(int argc, char** argv) {
               format.c_str(), out.c_str());
 
   tg::Stopwatch watch;
-  tg::core::GenerateStats stats = tg::core::Generate(
-      config,
-      [&](int worker, tg::VertexId lo, tg::VertexId hi) {
-        return MakeSink(format, out + ".w" + std::to_string(worker), lo, hi,
-                        transposed);
-      });
+  bool oomed = false;
+  tg::core::GenerateStats stats;
+  try {
+    stats = tg::core::Generate(
+        config,
+        [&](int worker, tg::VertexId lo, tg::VertexId hi) {
+          return MakeSink(format, out + ".w" + std::to_string(worker), lo, hi,
+                          transposed);
+        });
+  } catch (const tg::OomError& e) {
+    oomed = true;
+    if (want_metrics) tg::obs::RecordOom(e.report());
+    std::fprintf(stderr, "O.O.M after %.2f s:\n%s", watch.ElapsedSeconds(),
+                 e.report().ToString().c_str());
+    if (!oom_report_path.empty()) {
+      tg::Status status =
+          tg::obs::WriteOomReportFile(e.report(), oom_report_path);
+      if (status.ok()) {
+        std::printf("oom report written to %s\n", oom_report_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s: %s\n",
+                     oom_report_path.c_str(), status.ToString().c_str());
+      }
+    }
+  }
 
-  std::printf(
-      "done: %llu edges, %llu scopes, d_max=%llu in %.2f s "
-      "(partition %.3f s, generate %.3f s)\n",
-      static_cast<unsigned long long>(stats.num_edges),
-      static_cast<unsigned long long>(stats.num_scopes),
-      static_cast<unsigned long long>(stats.max_degree),
-      watch.ElapsedSeconds(), stats.partition_seconds,
-      stats.generate_seconds);
-  std::printf("peak per-scope working set: %llu bytes\n",
-              static_cast<unsigned long long>(stats.peak_scope_bytes));
-  if (config.num_workers > 1) {
+  if (!oomed) {
     std::printf(
-        "scheduler: %llu chunks, %llu steals, cpu imbalance %.2f "
-        "(max/mean)\n",
-        static_cast<unsigned long long>(stats.sched_chunks),
-        static_cast<unsigned long long>(stats.sched_steals),
-        stats.sched_imbalance);
+        "done: %llu edges, %llu scopes, d_max=%llu in %.2f s "
+        "(partition %.3f s, generate %.3f s)\n",
+        static_cast<unsigned long long>(stats.num_edges),
+        static_cast<unsigned long long>(stats.num_scopes),
+        static_cast<unsigned long long>(stats.max_degree),
+        watch.ElapsedSeconds(), stats.partition_seconds,
+        stats.generate_seconds);
+    std::printf("peak per-scope working set: %llu bytes\n",
+                static_cast<unsigned long long>(stats.peak_scope_bytes));
+    if (config.num_workers > 1) {
+      std::printf(
+          "scheduler: %llu chunks, %llu steals, cpu imbalance %.2f "
+          "(max/mean)\n",
+          static_cast<unsigned long long>(stats.sched_chunks),
+          static_cast<unsigned long long>(stats.sched_steals),
+          stats.sched_imbalance);
+    }
   }
 
   if (sampler != nullptr) sampler->Stop();
@@ -198,5 +233,5 @@ int main(int argc, char** argv) {
       std::printf("metrics report written to %s\n", metrics_json.c_str());
     }
   }
-  return 0;
+  return oomed ? 1 : 0;
 }

@@ -57,6 +57,7 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
     auto& buckets = outbox[w];
     buckets.resize(workers);
     MemoryBudget* budget = cluster->worker_budget(w);
+    MemoryBudget::TagStats* shuffle_tag = budget->Tag("cluster.shuffle_buf");
     std::uint64_t begin = static_cast<std::uint64_t>(w) * per_worker;
     std::uint64_t end = std::min(begin + per_worker, total_edges);
     std::uint64_t registered = 0;
@@ -71,11 +72,11 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
       buckets[dst_worker].push_back(e);
       if (((i - begin) & 0xFFFF) == 0) {
         std::uint64_t now = (i - begin) * sizeof(Edge);
-        budget->Allocate(now - registered);
+        budget->Allocate(now - registered, shuffle_tag);
         registered = now;
       }
     }
-    budget->Allocate((end - begin) * sizeof(Edge) - registered);
+    budget->Allocate((end - begin) * sizeof(Edge) - registered, shuffle_tag);
   });
   stats.num_edges = total_edges;
 
@@ -86,11 +87,12 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
   // The in-memory concatenation work would be spread over the machines.
   double shuffle_cpu = (ThreadCpuSeconds() - shuffle_cpu_start) / machines;
   for (int m = 0; m < machines; ++m) {
-    MemoryBudget* budget = cluster->machine_budget(m);
-    budget->Release(budget->used_bytes());
+    cluster->machine_budget(m)->ReleaseAll();
   }
   for (int w = 0; w < workers; ++w) {
-    cluster->worker_budget(w)->Allocate(inbox[w].size() * sizeof(Edge));
+    MemoryBudget* budget = cluster->worker_budget(w);
+    budget->Allocate(inbox[w].size() * sizeof(Edge),
+                     budget->Tag("cluster.shuffle_buf"));
   }
 
   // One CSR per machine (built by its first worker; Graph500's construction
@@ -106,15 +108,18 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
     VertexId lo = static_cast<VertexId>(machine) * block;
     VertexId hi = std::min<VertexId>(lo + block, num_vertices);
     std::vector<std::uint64_t> offsets(hi - lo + 1, 0);
-    ScopedAllocation offsets_mem(budget, offsets.size() * sizeof(offsets[0]));
+    ScopedAllocation offsets_mem(budget, offsets.size() * sizeof(offsets[0]),
+                                 "baseline.g500.csr");
     for (const Edge& e : edges) ++offsets[e.src - lo + 1];
     for (std::size_t i = 1; i < offsets.size(); ++i) {
       offsets[i] += offsets[i - 1];
     }
     std::vector<VertexId> adj(edges.size());
-    ScopedAllocation adj_mem(budget, adj.size() * sizeof(VertexId));
+    ScopedAllocation adj_mem(budget, adj.size() * sizeof(VertexId),
+                             "baseline.g500.csr");
     std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    ScopedAllocation cursor_mem(budget, cursor.size() * sizeof(cursor[0]));
+    ScopedAllocation cursor_mem(budget, cursor.size() * sizeof(cursor[0]),
+                                "baseline.g500.csr");
     for (const Edge& e : edges) adj[cursor[e.src - lo]++] = e.dst;
     // Sort each adjacency (CSR convention; also what the BFS kernel wants).
     for (VertexId u = lo; u < hi; ++u) {
@@ -131,8 +136,7 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
   cluster->RecordMachineStats();
 
   for (int m = 0; m < machines; ++m) {
-    MemoryBudget* budget = cluster->machine_budget(m);
-    budget->Release(budget->used_bytes());
+    cluster->machine_budget(m)->ReleaseAll();
   }
   return stats;
 }

@@ -22,7 +22,8 @@ WesStats FastKronecker(const FastKroneckerOptions& options,
 
   WesStats stats;
   FlatSet64 dedup(static_cast<std::size_t>(options.num_edges));
-  ScopedAllocation dedup_mem(options.budget, dedup.MemoryBytes());
+  ScopedAllocation dedup_mem(options.budget, dedup.MemoryBytes(),
+                             "baseline.kron.edge_set");
   stats.peak_bytes = dedup_mem.bytes();
 
   // Dedup key: u * |V| + v (fits 64 bits whenever |V|^2 does; the paper's

@@ -65,7 +65,8 @@ WesStats RmatMem(const RmatOptions& options, const EdgeConsumer& consume) {
 
   WesStats stats;
   FlatSet64 dedup(static_cast<std::size_t>(target));
-  ScopedAllocation dedup_mem(options.budget, dedup.MemoryBytes());
+  ScopedAllocation dedup_mem(options.budget, dedup.MemoryBytes(),
+                             "baseline.rmat.edge_set");
   stats.peak_bytes = dedup_mem.bytes();
 
   while (dedup.size() < target) {
@@ -91,11 +92,11 @@ WesStats RmatDisk(const RmatDiskOptions& options, const EdgeConsumer& consume) {
       static_cast<double>(target) * (1.0 + options.epsilon));
 
   WesStats stats;
+  // The sorter charges its own run buffer (tag "storage.extsort.run").
   storage::ExternalSorter<Edge> sorter(
-      {options.temp_dir, options.sort_buffer_items, "rmat_disk"});
-  ScopedAllocation sort_mem(options.budget,
-                            options.sort_buffer_items * sizeof(Edge));
-  stats.peak_bytes = sort_mem.bytes();
+      {options.temp_dir, options.sort_buffer_items, "rmat_disk",
+       options.budget});
+  stats.peak_bytes = sorter.buffer_bytes();
 
   for (std::uint64_t i = 0; i < raw_target; ++i) {
     sorter.Add(RmatEdge(noise, &rng));

@@ -46,6 +46,7 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
     auto& buckets = outbox[w];
     buckets.resize(workers);
     MemoryBudget* budget = cluster->worker_budget(w);
+    MemoryBudget::TagStats* shuffle_tag = budget->Tag("cluster.shuffle_buf");
     std::uint64_t registered = 0;
     for (std::uint64_t i = 0; i < per_worker_raw; ++i) {
       Edge e = RmatEdge(noise, &rng);
@@ -54,12 +55,13 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
       // Register outbox growth in coarse chunks to keep the hot loop cheap.
       if (charge_buffers && (i & 0xFFFF) == 0) {
         std::uint64_t now = i * sizeof(Edge);
-        budget->Allocate(now - registered);
+        budget->Allocate(now - registered, shuffle_tag);
         registered = now;
       }
     }
     if (charge_buffers) {
-      budget->Allocate(per_worker_raw * sizeof(Edge) - registered);
+      budget->Allocate(per_worker_raw * sizeof(Edge) - registered,
+                       shuffle_tag);
     }
   });
   stats.num_generated = static_cast<std::uint64_t>(per_worker_raw) * workers;
@@ -73,12 +75,13 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
       (ThreadCpuSeconds() - shuffle_cpu_start) / cluster->num_machines();
   // Outboxes were freed by the shuffle; swap the registration to the inbox.
   for (int m = 0; m < cluster->num_machines(); ++m) {
-    MemoryBudget* budget = cluster->machine_budget(m);
-    budget->Release(budget->used_bytes());
+    cluster->machine_budget(m)->ReleaseAll();
   }
   for (int w = 0; w < workers; ++w) {
     if (charge_buffers) {
-      cluster->worker_budget(w)->Allocate(inbox[w].size() * sizeof(Edge));
+      MemoryBudget* budget = cluster->worker_budget(w);
+      budget->Allocate(inbox[w].size() * sizeof(Edge),
+                       budget->Tag("cluster.shuffle_buf"));
     }
     stats.max_partition_edges =
         std::max<std::uint64_t>(stats.max_partition_edges, inbox[w].size());
@@ -105,18 +108,17 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
         ++count;
       }
     } else {
+      // The sorter charges its run buffer against the machine budget
+      // itself (tag "storage.extsort.run").
       storage::ExternalSorter<Edge> sorter(
           {options.temp_dir, options.sort_buffer_items,
-           "wesp_disk_w" + std::to_string(w)});
+           "wesp_disk_w" + std::to_string(w), cluster->worker_budget(w)});
       // Stream the inbox into the sorter, shrinking the in-memory partition
       // (a real disk implementation would have received straight to disk).
-      MemoryBudget* budget = cluster->worker_budget(w);
       std::vector<Edge>& edges = inbox[w];
       for (const Edge& e : edges) sorter.Add(e);
       edges.clear();
       edges.shrink_to_fit();
-      ScopedAllocation sort_mem(budget,
-                                options.sort_buffer_items * sizeof(Edge));
       count = sorter.Merge(/*dedup=*/true, [&](const Edge& e) {
         if (consume) consume(e);
       });
@@ -133,8 +135,7 @@ WespStats RunWesp(cluster::SimCluster* cluster, const WespOptions& options,
 
   // Release the remaining inbox registrations.
   for (int m = 0; m < cluster->num_machines(); ++m) {
-    MemoryBudget* budget = cluster->machine_budget(m);
-    budget->Release(budget->used_bytes());
+    cluster->machine_budget(m)->ReleaseAll();
   }
   return stats;
 }

@@ -40,8 +40,10 @@ class SimCluster {
     TG_CHECK(options.threads_per_machine >= 1);
     budgets_.reserve(options.num_machines);
     for (int m = 0; m < options.num_machines; ++m) {
-      budgets_.push_back(
-          std::make_unique<MemoryBudget>(options.memory_limit_per_machine));
+      // Each budget carries its machine id so an OOM names the machine and
+      // the per-machine mem.m<id>.* pressure gauges line up with spans.
+      budgets_.push_back(std::make_unique<MemoryBudget>(
+          options.memory_limit_per_machine, /*machine=*/m));
     }
   }
 

@@ -88,6 +88,10 @@ class AvsRangeGenerator {
         num_edges_(num_edges),
         opts_(opts),
         budget_(budget),
+        // Intern the attribution tag once; GenerateScope runs once per
+        // vertex and must not take the budget's tag-intern mutex.
+        scope_tag_(budget != nullptr ? budget->Tag("core.scope_dedup")
+                                     : nullptr),
         num_vertices_(VertexId{1} << noise->levels()),
         exclude_self_loops_(exclude_self_loops),
         // Per-scope histogram observations only happen under an active
@@ -151,7 +155,7 @@ class AvsRangeGenerator {
     // Account the per-scope working set against the machine budget: this is
     // exactly the O(d_max) space term of Table 1.
     ScopedAllocation scope_mem(
-        budget_, dedup.MemoryBytes() + degree * sizeof(VertexId));
+        budget_, dedup.MemoryBytes() + degree * sizeof(VertexId), scope_tag_);
     stats->peak_scope_bytes =
         std::max(stats->peak_scope_bytes, scope_mem.bytes());
 
@@ -243,6 +247,7 @@ class AvsRangeGenerator {
   std::uint64_t num_edges_;
   DeterminerOptions opts_;
   MemoryBudget* budget_;
+  MemoryBudget::TagStats* scope_tag_;
   VertexId num_vertices_;
   bool exclude_self_loops_;
   obs::Histogram* degree_hist_;

@@ -1,0 +1,100 @@
+#include "obs/mem.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/memory_budget.h"
+
+namespace tg::obs {
+
+namespace {
+
+std::mutex g_last_oom_mu;
+std::optional<OomReport> g_last_oom;
+
+/// How many trailing headroom samples an OomReport carries.
+constexpr std::size_t kHeadroomTailPoints = 32;
+
+/// OomContextHook: runs on the throwing thread, inside MemoryBudget, before
+/// the OomError propagates — the only moment the span stack is still intact.
+void OomContext(OomReport* report) {
+  report->span_stack = CurrentSpanPath();
+  Sampler::CopyActiveSeriesTail("mem.headroom_pct", kHeadroomTailPoints,
+                                &report->headroom_t, &report->headroom_pct);
+}
+
+/// BudgetRetireHook: folds a dying budget's peaks into the registry so
+/// per-tag attribution survives the budget (benches build one per row).
+void FoldBudget(const MemoryBudget& budget) {
+  Registry& registry = Registry::Global();
+  if (budget.peak_bytes() > 0) {
+    registry.MaxMachineStat(budget.machine(), "peak_bytes",
+                            static_cast<double>(budget.peak_bytes()));
+    GetGauge("mem.peak_machine_bytes")
+        ->Max(static_cast<double>(budget.peak_bytes()));
+  }
+  for (const OomReport::TagUsage& usage : budget.TagBreakdown()) {
+    GetGauge("mem.tag." + usage.tag + ".peak_bytes")
+        ->Max(static_cast<double>(usage.peak_bytes));
+  }
+}
+
+}  // namespace
+
+void EnableMemoryObservability() {
+  SetOomContextHook(&OomContext);
+  SetBudgetRetireHook(&FoldBudget);
+}
+
+void PublishMemoryGauges() {
+  std::uint64_t total_used = 0;
+  double min_headroom_pct = 100.0;
+  bool any_capped = false;
+  MemoryBudget::ForEachBudget([&](const MemoryBudget& budget) {
+    const std::uint64_t used = budget.used_bytes();
+    const std::uint64_t limit = budget.limit_bytes();
+    total_used += used;
+    const std::string machine_prefix =
+        "mem.m" + std::to_string(budget.machine()) + ".";
+    GetGauge(machine_prefix + "used_bytes")->Set(static_cast<double>(used));
+    if (limit != 0) {
+      any_capped = true;
+      const std::uint64_t free_bytes = used < limit ? limit - used : 0;
+      const double headroom_pct =
+          100.0 * static_cast<double>(free_bytes) / static_cast<double>(limit);
+      GetGauge(machine_prefix + "headroom_pct")->Set(headroom_pct);
+      min_headroom_pct = std::min(min_headroom_pct, headroom_pct);
+    }
+    for (const OomReport::TagUsage& usage : budget.TagBreakdown()) {
+      GetGauge("mem.tag." + usage.tag + ".peak_bytes")
+          ->Max(static_cast<double>(usage.peak_bytes));
+    }
+  });
+  GetGauge("mem.used_bytes")->Set(static_cast<double>(total_used));
+  GetGauge("mem.headroom_pct")->Set(any_capped ? min_headroom_pct : 100.0);
+}
+
+void RecordOom(const OomReport& report) {
+  GetCounter("mem.oom_events")->Add(1);
+  if (TraceEnabled()) TraceInstant("mem.oom");
+  std::lock_guard<std::mutex> lock(g_last_oom_mu);
+  g_last_oom = report;
+}
+
+std::optional<OomReport> LastOom() {
+  std::lock_guard<std::mutex> lock(g_last_oom_mu);
+  return g_last_oom;
+}
+
+void ClearLastOom() {
+  std::lock_guard<std::mutex> lock(g_last_oom_mu);
+  g_last_oom.reset();
+}
+
+}  // namespace tg::obs

@@ -1,0 +1,51 @@
+// obs/mem.h — memory observability glue between tg::MemoryBudget (util, no
+// obs dependency) and the metric registry. Three jobs:
+//
+//  * pressure gauges: PublishMemoryGauges walks every live budget and sets
+//    per-machine `mem.m<id>.used_bytes` / `mem.m<id>.headroom_pct`, the
+//    process-wide `mem.used_bytes` / `mem.headroom_pct` (min headroom over
+//    capped machines), and max-merges per-tag `mem.tag.<tag>.peak_bytes`.
+//    The Sampler calls it each tick so the series shows pressure building.
+//
+//  * OOM forensics: EnableMemoryObservability installs the util-layer hooks
+//    that (a) enrich an in-flight OomReport with the thrower's span stack
+//    and the sampled headroom tail, and (b) fold a dying budget's per-tag
+//    peaks into the registry so short-lived bench budgets still show up in
+//    end-of-run reports and bench_check baselines.
+//
+//  * last-OOM capture: RecordOom stashes the most recent OomReport (and
+//    bumps `mem.oom_events`); RunReport::Collect serializes it as the
+//    "mem.oom" section.
+#ifndef TRILLIONG_OBS_MEM_H_
+#define TRILLIONG_OBS_MEM_H_
+
+#include <optional>
+
+#include "util/oom_report.h"
+
+namespace tg::obs {
+
+/// Installs the OOM-context and budget-retire hooks (idempotent). Called
+/// from PreregisterCanonicalMetrics so any instrumented binary gets
+/// attribution without extra wiring.
+void EnableMemoryObservability();
+
+/// Refreshes the mem.* gauges from every live MemoryBudget (see file
+/// comment). Cheap: a mutex-guarded walk reading atomics.
+void PublishMemoryGauges();
+
+/// Records the forensics of a caught OomError as the run's last OOM and
+/// increments the `mem.oom_events` counter. Benches and gen_cli call this
+/// from their catch blocks; RunReport::Collect picks it up.
+void RecordOom(const OomReport& report);
+
+/// The most recently recorded OOM, if any.
+std::optional<OomReport> LastOom();
+
+/// Forgets the last OOM (Registry::Reset calls this so reports from
+/// back-to-back runs in one process don't inherit a stale OOM section).
+void ClearLastOom();
+
+}  // namespace tg::obs
+
+#endif  // TRILLIONG_OBS_MEM_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/mem.h"
+
 namespace tg::obs {
 
 namespace {
@@ -155,12 +157,17 @@ std::map<int, std::map<std::string, double>> Registry::MachineStats() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, counter] : counters_) counter->Reset();
-  for (auto& [name, gauge] : gauges_) gauge->Reset();
-  for (auto& [name, hist] : histograms_) hist->Reset();
-  spans_.clear();
-  machines_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
+    for (auto& [name, hist] : histograms_) hist->Reset();
+    spans_.clear();
+    machines_.clear();
+  }
+  // Only meaningful for the global registry, but harmless otherwise: a reset
+  // starts a fresh run, which must not inherit a stale mem.oom section.
+  ClearLastOom();
 }
 
 void PreregisterCanonicalMetrics() {
@@ -184,6 +191,11 @@ void PreregisterCanonicalMetrics() {
   r.GetCounter("net.charged_bytes");
   r.GetGauge("net.simulated_seconds");
   r.GetGauge("mem.peak_machine_bytes");
+  // Memory pressure + OOM forensics (obs/mem.h; per-machine mem.m<id>.* and
+  // per-tag mem.tag.<tag>.peak_bytes gauges appear dynamically).
+  r.GetCounter("mem.oom_events");
+  r.GetGauge("mem.used_bytes");
+  r.GetGauge("mem.headroom_pct");
   // External sort (storage/external_sorter.h).
   r.GetCounter("sort.records_added");
   r.GetCounter("sort.records_delivered");
@@ -197,6 +209,10 @@ void PreregisterCanonicalMetrics() {
   // Live progress + tracing (obs/sampler.h, obs/trace.h).
   r.GetCounter("progress.edges");
   r.GetCounter("trace.dropped_events");
+  // Install the memory-observability hooks (span stack / headroom tail on
+  // OomReport, per-tag peak fold-in on budget destruction): any binary that
+  // preregisters gets OOM attribution without extra wiring.
+  EnableMemoryObservability();
 }
 
 }  // namespace tg::obs

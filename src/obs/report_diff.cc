@@ -21,6 +21,15 @@ bool Skipped(const DiffOptions& options, const std::string& name) {
 double GaugeTolerance(const DiffOptions& options, const std::string& name) {
   auto it = options.tolerances.find(name);
   if (it != options.tolerances.end()) return it->second;
+  // Per-tag peak bytes (mem.tag.<tag>.peak_bytes) gate memory regressions
+  // the way counters gate time: any tag present in the baseline must stay
+  // within the prefix tolerance, and a vanished tag is a regression.
+  if (name.rfind("mem.tag.", 0) == 0 &&
+      name.size() >= sizeof(".peak_bytes") - 1 &&
+      name.compare(name.size() - (sizeof(".peak_bytes") - 1),
+                   std::string::npos, ".peak_bytes") == 0) {
+    return options.mem_tag_peak_rel_tol;
+  }
   return options.default_gauge_rel_tol;
 }
 
@@ -57,6 +66,9 @@ DiffOptions DiffOptions::Defaults() {
   // Structural gauges: exact.
   options.tolerances["avs.max_degree"] = 0.0;
   options.tolerances["avs.recvec_levels"] = 0.0;
+  // Which chunks get stolen is a thread-timing outcome, not a property of
+  // the build (sched.chunks, which is deterministic, stays gated).
+  options.skip.push_back("sched.steals");
   return options;
 }
 

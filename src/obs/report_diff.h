@@ -33,6 +33,12 @@ struct DiffOptions {
   /// `histogram/<name>/{count,sum}` synthetic keys).
   std::map<std::string, double> tolerances;
 
+  /// Built-in prefix rule: any `mem.tag.<tag>.peak_bytes` gauge in the
+  /// baseline is compared at this tolerance (explicit per-name overrides
+  /// still win), so a per-component memory regression fails the gate even
+  /// though the gauge set is open-ended. Negative disables the rule.
+  double mem_tag_peak_rel_tol = 0.5;
+
   /// Metric names excluded from comparison entirely.
   std::vector<std::string> skip;
 

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/mem.h"
 #include "storage/file_io.h"
 #include "storage/fs.h"
 
@@ -268,10 +269,102 @@ std::string FormatSeconds(double s) {
   return buf;
 }
 
+/// Serializes an OomReport object; `pad` is the indentation of the opening
+/// brace's line, so the section nests correctly in ToJson and stands alone
+/// in OomReportToJson.
+void AppendOomReport(const OomReport& report, const std::string& pad,
+                     std::string* out) {
+  const std::string field_pad = pad + "  ";
+  *out += "{\n" + field_pad + "\"machine\": ";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", report.machine);
+  *out += buf;
+  *out += ",\n" + field_pad + "\"tag\": ";
+  AppendEscaped(report.tag, out);
+  *out += ",\n" + field_pad + "\"requested_bytes\": ";
+  AppendU64(report.requested_bytes, out);
+  *out += ",\n" + field_pad + "\"used_bytes\": ";
+  AppendU64(report.used_bytes, out);
+  *out += ",\n" + field_pad + "\"limit_bytes\": ";
+  AppendU64(report.limit_bytes, out);
+  *out += ",\n" + field_pad + "\"span_stack\": ";
+  AppendEscaped(report.span_stack, out);
+  *out += ",\n" + field_pad + "\"breakdown\": [";
+  bool first = true;
+  for (const OomReport::TagUsage& usage : report.breakdown) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += field_pad + "  {\"tag\": ";
+    AppendEscaped(usage.tag, out);
+    *out += ", \"used_bytes\": ";
+    AppendU64(usage.used_bytes, out);
+    *out += ", \"peak_bytes\": ";
+    AppendU64(usage.peak_bytes, out);
+    *out += "}";
+  }
+  if (!report.breakdown.empty()) *out += "\n" + field_pad;
+  *out += "],\n" + field_pad + "\"headroom_t\": [";
+  for (std::size_t i = 0; i < report.headroom_t.size(); ++i) {
+    if (i != 0) *out += ", ";
+    AppendDouble(report.headroom_t[i], out);
+  }
+  *out += "],\n" + field_pad + "\"headroom_pct\": [";
+  for (std::size_t i = 0; i < report.headroom_pct.size(); ++i) {
+    if (i != 0) *out += ", ";
+    AppendDouble(report.headroom_pct[i], out);
+  }
+  *out += "]\n" + pad + "}";
+}
+
+void ParseOomReport(Cursor& cur, OomReport* report) {
+  cur.ParseObject([&](const std::string& field) {
+    if (field == "machine") {
+      report->machine = static_cast<int>(cur.ParseDouble());
+    } else if (field == "tag") {
+      cur.ParseString(&report->tag);
+    } else if (field == "requested_bytes") {
+      report->requested_bytes = cur.ParseU64();
+    } else if (field == "used_bytes") {
+      report->used_bytes = cur.ParseU64();
+    } else if (field == "limit_bytes") {
+      report->limit_bytes = cur.ParseU64();
+    } else if (field == "span_stack") {
+      cur.ParseString(&report->span_stack);
+    } else if (field == "breakdown") {
+      cur.ParseArray([&] {
+        OomReport::TagUsage usage;
+        cur.ParseObject([&](const std::string& key) {
+          if (key == "tag") {
+            cur.ParseString(&usage.tag);
+          } else if (key == "used_bytes") {
+            usage.used_bytes = cur.ParseU64();
+          } else if (key == "peak_bytes") {
+            usage.peak_bytes = cur.ParseU64();
+          } else {
+            cur.SkipValue();
+          }
+        });
+        report->breakdown.push_back(std::move(usage));
+      });
+    } else if (field == "headroom_t") {
+      cur.ParseArray([&] { report->headroom_t.push_back(cur.ParseDouble()); });
+    } else if (field == "headroom_pct") {
+      cur.ParseArray(
+          [&] { report->headroom_pct.push_back(cur.ParseDouble()); });
+    } else {
+      cur.SkipValue();
+    }
+  });
+}
+
 }  // namespace
 
 RunReport RunReport::Collect(const Registry& registry) {
+  // Fold current budget pressure / per-tag peaks into the (global) registry
+  // so end-of-run reports include them even without a sampler.
+  PublishMemoryGauges();
   RunReport report;
+  report.oom = LastOom();
   report.counters = registry.CounterValues();
   report.gauges = registry.GaugeValues();
   report.histograms = registry.HistogramValues();
@@ -370,7 +463,12 @@ std::string RunReport::ToJson() const {
     }
     out += "}";
   }
-  out += "\n  ],\n  \"series\": {";
+  out += "\n  ]";
+  if (oom.has_value()) {
+    out += ",\n  \"mem.oom\": ";
+    AppendOomReport(*oom, "  ", &out);
+  }
+  out += ",\n  \"series\": {";
   first = true;
   for (const auto& [name, ts] : series) {
     out += first ? "\n    " : ",\n    ";
@@ -480,6 +578,10 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
         });
         out->series[name] = std::move(ts);
       });
+    } else if (section == "mem.oom") {
+      OomReport report;
+      ParseOomReport(cur, &report);
+      out->oom = std::move(report);
     } else {
       cur.SkipValue();
     }
@@ -500,18 +602,23 @@ std::string RunReport::ToTable() const {
       out << "  " << key << " = " << value << "\n";
     }
   }
+  // Pad names to a 34-char column, but never glue a long name (e.g.
+  // mem.tag.*.peak_bytes) to its value.
+  const auto pad_name = [&out](const std::string& name) {
+    out << "  " << name;
+    std::size_t spaces = name.size() < 34 ? 34 - name.size() : 1;
+    while (spaces-- > 0) out << ' ';
+  };
   out << "-- counters --\n";
   for (const auto& [name, value] : counters) {
-    out << "  " << name;
-    for (std::size_t i = name.size(); i < 34; ++i) out << ' ';
+    pad_name(name);
     out << value << "\n";
   }
   out << "-- gauges --\n";
   for (const auto& [name, value] : gauges) {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
-    out << "  " << name;
-    for (std::size_t i = name.size(); i < 34; ++i) out << ' ';
+    pad_name(name);
     out << buf << "\n";
   }
   if (!histograms.empty()) {
@@ -554,6 +661,14 @@ std::string RunReport::ToTable() const {
       out << "\n";
     }
   }
+  if (oom.has_value()) {
+    out << "-- mem.oom --\n";
+    std::istringstream lines(oom->ToString());
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "  " << line << "\n";
+    }
+  }
   if (!series.empty()) {
     out << "-- sampled series --\n";
     for (const auto& [name, ts] : series) {
@@ -577,6 +692,24 @@ Status RunReport::WriteJsonFile(const std::string& path) const {
   Status s = writer.Open(path);
   if (!s.ok()) return s;
   std::string json = ToJson();
+  writer.Append(json.data(), json.size());
+  return writer.Close();
+}
+
+std::string OomReportToJson(const OomReport& report) {
+  std::string out;
+  AppendOomReport(report, "", &out);
+  out += "\n";
+  return out;
+}
+
+Status WriteOomReportFile(const OomReport& report, const std::string& path) {
+  Status made = storage::EnsureParentDirectory(path);
+  if (!made.ok()) return made;
+  storage::FileWriter writer;
+  Status s = writer.Open(path);
+  if (!s.ok()) return s;
+  std::string json = OomReportToJson(report);
   writer.Append(json.data(), json.size());
   return writer.Close();
 }

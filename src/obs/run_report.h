@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/oom_report.h"
 #include "util/status.h"
 
 namespace tg::obs {
@@ -47,9 +49,13 @@ struct RunReport {
   std::map<int, std::map<std::string, double>> machines;
   /// Sampled time series, keyed by metric name (obs::Sampler::ExportTo).
   std::map<std::string, TimeSeries> series;
+  /// OOM forensics when a budget tripped during the run (serialized as the
+  /// "mem.oom" section; absent otherwise). Filled by Collect from the last
+  /// OomError recorded via obs::RecordOom.
+  std::optional<OomReport> oom;
 
   /// Snapshots the registry. Counters/gauges/histograms/spans/machines are
-  /// filled; `meta` is left for the caller.
+  /// filled (plus `oom` from obs::LastOom); `meta` is left for the caller.
   static RunReport Collect(const Registry& registry = Registry::Global());
 
   /// Stable, pretty-printed JSON (schema in docs/OBSERVABILITY.md).
@@ -65,6 +71,13 @@ struct RunReport {
   /// Serializes to `path`, creating missing parent directories first.
   Status WriteJsonFile(const std::string& path) const;
 };
+
+/// Standalone JSON for an OomReport (same schema as the "mem.oom" section).
+std::string OomReportToJson(const OomReport& report);
+
+/// Writes OomReportToJson to `path`, creating parent directories first.
+/// Backs `gen_cli --oom_report <path>`.
+Status WriteOomReportFile(const OomReport& report, const std::string& path);
 
 }  // namespace tg::obs
 

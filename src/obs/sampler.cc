@@ -3,12 +3,20 @@
 #include <cstdio>
 #include <unistd.h>
 
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace tg::obs {
 
 namespace {
+
+/// The most recently started, still-live sampler; CopyActiveSeriesTail reads
+/// it so the OOM context hook can attach the headroom tail. Guarded by its
+/// own mutex, always acquired *before* the sampler's mu_ (Start/Stop touch
+/// it outside their mu_ critical sections to keep the order acyclic).
+std::mutex g_active_mu;
+Sampler* g_active_sampler = nullptr;
 
 /// Formats an edge count compactly (1234567 -> "1.23M").
 std::string HumanCount(double v) {
@@ -50,16 +58,26 @@ Sampler::Sampler(const SamplerOptions& options) : options_(options) {
 Sampler::~Sampler() { Stop(); }
 
 void Sampler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) return;
-  running_ = true;
-  stop_requested_ = false;
-  start_time_ = std::chrono::steady_clock::now();
-  SampleOnce(0.0);
-  thread_ = std::thread(&Sampler::Loop, this);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    start_time_ = std::chrono::steady_clock::now();
+    SampleOnce(0.0);
+    thread_ = std::thread(&Sampler::Loop, this);
+  }
+  std::lock_guard<std::mutex> active_lock(g_active_mu);
+  g_active_sampler = this;
 }
 
 void Sampler::Stop() {
+  {
+    // Deregister first (and unconditionally) so the OOM hook can never race
+    // a dying sampler; done before taking mu_ to keep lock order acyclic.
+    std::lock_guard<std::mutex> active_lock(g_active_mu);
+    if (g_active_sampler == this) g_active_sampler = nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
@@ -91,6 +109,9 @@ void Sampler::Loop() {
 
 void Sampler::SampleOnce(double t_seconds) {
   // Caller holds mu_ (Start/Stop) or the Loop's unique_lock.
+  // Refresh the mem.* pressure gauges from the live budgets so the tick
+  // captures current usage/headroom, not a stale end-of-phase value.
+  PublishMemoryGauges();
   auto record = [&](const std::string& name, double value) {
     TimeSeries& ts = series_[name];
     ts.interval_seconds = options_.interval_ms / 1000.0;
@@ -147,6 +168,21 @@ void Sampler::PrintProgress(double t_seconds, double edges) {
   }
   std::fputs(line, stderr);
   std::fflush(stderr);
+}
+
+void Sampler::CopyActiveSeriesTail(const std::string& name,
+                                   std::size_t max_points,
+                                   std::vector<double>* t,
+                                   std::vector<double>* v) {
+  std::lock_guard<std::mutex> active_lock(g_active_mu);
+  if (g_active_sampler == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_active_sampler->mu_);
+  auto it = g_active_sampler->series_.find(name);
+  if (it == g_active_sampler->series_.end()) return;
+  const TimeSeries& ts = it->second;
+  std::size_t start = ts.t.size() > max_points ? ts.t.size() - max_points : 0;
+  t->assign(ts.t.begin() + static_cast<std::ptrdiff_t>(start), ts.t.end());
+  v->assign(ts.v.begin() + static_cast<std::ptrdiff_t>(start), ts.v.end());
 }
 
 std::map<std::string, TimeSeries> Sampler::Series() const {

@@ -32,9 +32,14 @@ struct SamplerOptions {
       "progress.edges",
       "cluster.shuffled_bytes",
   };
-  /// Gauges sampled each tick.
+  /// Gauges sampled each tick. The mem.* pressure gauges are refreshed from
+  /// the live MemoryBudget registry at the top of every tick (see
+  /// obs::PublishMemoryGauges), so the series shows pressure building, not
+  /// just the final peak.
   std::vector<std::string> gauges = {
       "mem.peak_machine_bytes",
+      "mem.used_bytes",
+      "mem.headroom_pct",
       "net.simulated_seconds",
   };
   /// Also record the process resident set size as `proc.rss_bytes`
@@ -73,6 +78,15 @@ class Sampler {
 
   /// Merges the collected series into `report->series`.
   void ExportTo(RunReport* report) const;
+
+  /// Copies the last `max_points` of series `name` from the most recently
+  /// started, still-live sampler (no-op leaving *t/*v empty when none is
+  /// active or the series does not exist). The OOM context hook uses this
+  /// to attach the mem.headroom_pct tail to an OomReport.
+  static void CopyActiveSeriesTail(const std::string& name,
+                                   std::size_t max_points,
+                                   std::vector<double>* t,
+                                   std::vector<double>* v);
 
  private:
   void Loop();

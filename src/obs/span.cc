@@ -39,6 +39,8 @@ ScopedMachine::~ScopedMachine() { t_machine = saved_; }
 
 int CurrentMachine() { return t_machine; }
 
+std::string CurrentSpanPath() { return JoinStack(); }
+
 Span::Span(const char* name) : name_(name) {
   if (!Enabled()) return;
   active_ = true;

@@ -7,6 +7,8 @@
 #ifndef TRILLIONG_OBS_SPAN_H_
 #define TRILLIONG_OBS_SPAN_H_
 
+#include <string>
+
 #include "obs/metrics.h"
 
 namespace tg::obs {
@@ -29,6 +31,11 @@ class ScopedMachine {
 
 /// The machine tag of the calling thread (-1 when untagged).
 int CurrentMachine();
+
+/// Slash-joined path of the calling thread's open spans ("" when none or
+/// when observability is disabled). OOM forensics records this so an
+/// OomReport says *where* in the phase hierarchy the budget tripped.
+std::string CurrentSpanPath();
 
 /// One timed section. Span paths are per thread: a span opened on a worker
 /// thread does not nest under spans of the spawning thread.

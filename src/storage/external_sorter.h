@@ -18,6 +18,7 @@
 #include "obs/span.h"
 #include "storage/file_io.h"
 #include "util/common.h"
+#include "util/memory_budget.h"
 
 namespace tg::storage {
 
@@ -42,9 +43,17 @@ class ExternalSorter {
     std::size_t buffer_items = 1 << 20;
     /// Distinguishes concurrent sorters sharing a temp dir.
     std::string name = "extsort";
+    /// Optional machine budget the in-memory run buffer is charged against
+    /// (tag "storage.extsort.run"). Construction throws OomError when the
+    /// buffer alone does not fit — the paper's disk baselines O.O.M exactly
+    /// this way once the sort buffer outgrows a machine.
+    MemoryBudget* budget = nullptr;
   };
 
-  explicit ExternalSorter(Options options) : options_(std::move(options)) {
+  explicit ExternalSorter(Options options)
+      : options_(std::move(options)),
+        buffer_mem_(options_.budget, options_.buffer_items * sizeof(T),
+                    "storage.extsort.run") {
     TG_CHECK(options_.buffer_items > 0);
     buffer_.reserve(options_.buffer_items);
   }
@@ -65,6 +74,9 @@ class ExternalSorter {
   std::uint64_t num_added() const { return num_added_; }
   std::uint64_t bytes_spilled() const { return bytes_spilled_; }
   std::size_t num_runs() const { return run_paths_.size(); }
+  /// Bytes the in-memory run buffer occupies at capacity (what the budget
+  /// was charged).
+  std::uint64_t buffer_bytes() const { return buffer_mem_.bytes(); }
 
   /// Merges all runs (plus the in-memory tail) in sorted order. When `dedup`
   /// is true, equal consecutive records are delivered once. Returns the
@@ -151,6 +163,7 @@ class ExternalSorter {
   }
 
   Options options_;
+  ScopedAllocation buffer_mem_;
   std::vector<T> buffer_;
   std::size_t mem_pos_ = 0;
   std::vector<std::string> run_paths_;

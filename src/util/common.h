@@ -7,6 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/oom_report.h"
 
 namespace tg {
 
@@ -24,10 +27,19 @@ struct Edge {
 };
 
 /// Thrown when a simulated per-machine memory budget is exceeded. Benches
-/// catch this to report "O.O.M" rows exactly like the paper's figures.
+/// catch this to report "O.O.M" rows exactly like the paper's figures, and
+/// the attached report() says which machine/tag ran out and how pressure
+/// built up (per-tag breakdown, headroom tail, active span stack).
 class OomError : public std::runtime_error {
  public:
   explicit OomError(const std::string& what) : std::runtime_error(what) {}
+  explicit OomError(OomReport report)
+      : std::runtime_error(report.Summary()), report_(std::move(report)) {}
+
+  const OomReport& report() const { return report_; }
+
+ private:
+  OomReport report_;
 };
 
 namespace internal {
@@ -61,5 +73,22 @@ namespace internal {
                                   tg_check_stream_.str());           \
     }                                                                \
   } while (0)
+
+/// Debug-only invariant check: active when NDEBUG is not defined, compiled
+/// out (without evaluating the expression) in release builds. Use for checks
+/// whose failure mode has a safe release-mode fallback — e.g. a mismatched
+/// MemoryBudget::Release aborts in debug builds but clamps to zero in
+/// release builds instead of wrapping the counter to ~2^64.
+#ifndef NDEBUG
+#define TG_DCHECK(expr) TG_CHECK(expr)
+#define TG_DCHECK_MSG(expr, msg) TG_CHECK_MSG(expr, msg)
+#else
+#define TG_DCHECK(expr) \
+  do {                  \
+  } while (false && (expr))
+#define TG_DCHECK_MSG(expr, msg) \
+  do {                           \
+  } while (false && (expr))
+#endif
 
 #endif  // TRILLIONG_UTIL_COMMON_H_

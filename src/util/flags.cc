@@ -1,8 +1,46 @@
 #include "util/flags.h"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace tg {
+
+bool ParseByteSize(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin || value < 0) return false;
+  std::string suffix;
+  for (const char* p = end; *p != '\0'; ++p) {
+    suffix.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  double multiplier = 1.0;
+  if (!suffix.empty() && suffix != "b") {
+    switch (suffix[0]) {
+      case 'k':
+        multiplier = 1024.0;
+        break;
+      case 'm':
+        multiplier = 1024.0 * 1024.0;
+        break;
+      case 'g':
+        multiplier = 1024.0 * 1024.0 * 1024.0;
+        break;
+      case 't':
+        multiplier = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+        break;
+      default:
+        return false;
+    }
+    std::string rest = suffix.substr(1);
+    if (!rest.empty() && rest != "b" && rest != "ib") return false;
+  }
+  *out = static_cast<std::uint64_t>(value * multiplier + 0.5);
+  return true;
+}
 
 FlagParser::FlagParser(int argc, char** argv) {
   if (argc > 0) program_name_ = argv[0];
@@ -53,6 +91,19 @@ bool FlagParser::GetBool(const std::string& key, bool default_value) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return default_value;
   return it->second != "false" && it->second != "0";
+}
+
+std::uint64_t FlagParser::GetBytes(const std::string& key,
+                                   std::uint64_t default_value) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return default_value;
+  std::uint64_t bytes = 0;
+  if (!ParseByteSize(it->second, &bytes)) {
+    std::fprintf(stderr, "warning: --%s: unparseable byte size \"%s\"\n",
+                 key.c_str(), it->second.c_str());
+    return default_value;
+  }
+  return bytes;
 }
 
 std::vector<std::string> FlagParser::GetStringList(

@@ -8,6 +8,14 @@
 
 namespace tg {
 
+/// Parses a human-readable byte size: a non-negative number with an optional
+/// binary suffix k/m/g/t (case-insensitive, optionally followed by "b" or
+/// "ib", so "512m" == "512MB" == "512MiB" == 512 * 2^20). Fractions work
+/// with suffixes ("1.5g"). Returns false on malformed input and leaves *out
+/// untouched. Shared by `--mem_budget`-style flags and the benches'
+/// TG_MEM_BUDGET env hook.
+bool ParseByteSize(const std::string& text, std::uint64_t* out);
+
 /// Minimal command-line parser for the example binaries. Accepts
 /// `--key=value`, `--key value` (the next non-flag token becomes the value),
 /// and bare `--flag` (value "true"). Because `--flag token` binds greedily,
@@ -25,6 +33,11 @@ class FlagParser {
   std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
   double GetDouble(const std::string& key, double default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Byte-size flag via ParseByteSize: `--mem_budget 512m`, `--mem_budget
+  /// 2g`. A malformed value warns on stderr and falls back to the default.
+  std::uint64_t GetBytes(const std::string& key,
+                         std::uint64_t default_value) const;
 
   /// Comma-separated list flag: `--skip a,b,c` -> {"a","b","c"}. Empty
   /// items are dropped; an absent flag yields an empty vector.

@@ -1,0 +1,67 @@
+#include "util/oom_report.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tg {
+namespace {
+
+std::atomic<OomContextHook> g_oom_context_hook{nullptr};
+std::atomic<BudgetRetireHook> g_budget_retire_hook{nullptr};
+
+std::string FormatBytes(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, bytes);
+  return buf;
+}
+
+}  // namespace
+
+void SetOomContextHook(OomContextHook hook) { g_oom_context_hook.store(hook); }
+OomContextHook GetOomContextHook() { return g_oom_context_hook.load(); }
+
+void SetBudgetRetireHook(BudgetRetireHook hook) {
+  g_budget_retire_hook.store(hook);
+}
+BudgetRetireHook GetBudgetRetireHook() { return g_budget_retire_hook.load(); }
+
+std::string OomReport::Summary() const {
+  std::string out = "memory budget exceeded on machine " +
+                    std::to_string(machine) + ": tag " +
+                    (tag.empty() ? "untagged" : tag) + " requested " +
+                    FormatBytes(requested_bytes) + " bytes (used " +
+                    FormatBytes(used_bytes) + " / limit " +
+                    FormatBytes(limit_bytes) + ")";
+  return out;
+}
+
+std::string OomReport::ToString() const {
+  std::string out = Summary();
+  out += "\n";
+  if (!span_stack.empty()) {
+    out += "  span stack: " + span_stack + "\n";
+  }
+  if (!breakdown.empty()) {
+    out += "  per-tag breakdown at time of death:\n";
+    for (const TagUsage& usage : breakdown) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "    %-32s used %14" PRIu64 "  peak %14" PRIu64 "\n",
+                    usage.tag.c_str(), usage.used_bytes, usage.peak_bytes);
+      out += line;
+    }
+  }
+  if (!headroom_pct.empty()) {
+    out += "  headroom tail (pct):";
+    for (std::size_t i = 0; i < headroom_pct.size(); ++i) {
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), " %.1f", headroom_pct[i]);
+      out += cell;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tg

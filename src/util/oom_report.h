@@ -1,0 +1,71 @@
+#ifndef TRILLIONG_UTIL_OOM_REPORT_H_
+#define TRILLIONG_UTIL_OOM_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/// Structured forensics attached to an OomError when a MemoryBudget trips.
+/// Captures *what* ran out, not just that something did: the simulated
+/// machine, the component tag of the failing request, the full per-tag
+/// breakdown at time of death, and (when the obs layer is active) the tail
+/// of the sampled headroom series plus the active trace-span stack.
+///
+/// This lives in util (not obs) so MemoryBudget can build one without a
+/// dependency on the observability layer; the obs-only fields are filled in
+/// by a hook the obs layer installs (see SetOomContextHook below).
+struct OomReport {
+  /// One row of the per-tag breakdown at time of death.
+  struct TagUsage {
+    std::string tag;
+    std::uint64_t used_bytes = 0;
+    std::uint64_t peak_bytes = 0;
+  };
+
+  /// Simulated machine id of the budget that tripped.
+  int machine = -1;
+  /// Component tag of the failing request ("untagged" for raw call sites).
+  std::string tag;
+  /// Size of the request that pushed the budget over its cap.
+  std::uint64_t requested_bytes = 0;
+  /// Registered bytes on the budget just before the failing request.
+  std::uint64_t used_bytes = 0;
+  std::uint64_t limit_bytes = 0;
+  /// Per-tag used/peak at time of death, sorted by tag name.
+  std::vector<TagUsage> breakdown;
+
+  // --- Filled by the obs context hook (empty otherwise). ---
+  /// Slash-joined active TG_SPAN stack of the throwing thread.
+  std::string span_stack;
+  /// Tail of the sampled mem.headroom_pct series: timestamps (seconds since
+  /// sampler start) and headroom percentages, oldest first.
+  std::vector<double> headroom_t;
+  std::vector<double> headroom_pct;
+
+  /// One-line summary; used as the OomError::what() message.
+  std::string Summary() const;
+  /// Multi-line forensic dump (summary + per-tag table + span stack).
+  std::string ToString() const;
+};
+
+/// Hook invoked on the throwing thread while an OomReport is being built,
+/// before the OomError leaves MemoryBudget::Allocate. The obs layer installs
+/// one that fills span_stack / headroom_* (see obs::EnableMemoryObservability).
+using OomContextHook = void (*)(OomReport* report);
+void SetOomContextHook(OomContextHook hook);
+OomContextHook GetOomContextHook();
+
+class MemoryBudget;
+
+/// Hook invoked from ~MemoryBudget so per-tag peaks outlive short-lived
+/// budgets (benches construct one per table row). The obs layer installs one
+/// that max-merges per-tag peak gauges into the global metric registry.
+using BudgetRetireHook = void (*)(const MemoryBudget& budget);
+void SetBudgetRetireHook(BudgetRetireHook hook);
+BudgetRetireHook GetBudgetRetireHook();
+
+}  // namespace tg
+
+#endif  // TRILLIONG_UTIL_OOM_REPORT_H_

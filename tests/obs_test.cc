@@ -5,10 +5,13 @@
 #include <vector>
 
 #include "cluster/sim_cluster.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/span.h"
 #include "util/common.h"
+#include "util/memory_budget.h"
+#include "util/oom_report.h"
 
 namespace tg::obs {
 namespace {
@@ -245,8 +248,107 @@ TEST_F(ObsTest, PreregisterCreatesCanonicalKeysAtZero) {
   EXPECT_EQ(counters.at("avs.edges_generated"), 0u);
   EXPECT_EQ(counters.at("cluster.shuffled_bytes"), 0u);
   EXPECT_EQ(counters.at("sort.bytes_spilled"), 0u);
+  EXPECT_EQ(counters.at("mem.oom_events"), 0u);
   EXPECT_DOUBLE_EQ(gauges.at("net.simulated_seconds"), 0.0);
   EXPECT_DOUBLE_EQ(gauges.at("mem.peak_machine_bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(gauges.at("mem.used_bytes"), 0.0);
+}
+
+OomReport MakeOomReport() {
+  OomReport report;
+  report.machine = 2;
+  report.tag = "cluster.shuffle_buf";
+  report.requested_bytes = 4096;
+  report.used_bytes = 60000;
+  report.limit_bytes = 61440;
+  report.breakdown = {{"cluster.shuffle_buf", 50000, 55000},
+                      {"storage.extsort.run", 10000, 12000}};
+  report.span_stack = "wesp.generate";
+  report.headroom_t = {0.1, 0.2, 0.3};
+  report.headroom_pct = {40.0, 12.5, 2.0};
+  return report;
+}
+
+TEST_F(ObsTest, OomReportRoundTripsThroughRunReportJson) {
+  RunReport report = RunReport::Collect(Registry::Global());
+  report.oom = MakeOomReport();
+
+  RunReport parsed;
+  Status status = RunReport::FromJson(report.ToJson(), &parsed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_TRUE(parsed.oom.has_value());
+  EXPECT_EQ(parsed.oom->machine, 2);
+  EXPECT_EQ(parsed.oom->tag, "cluster.shuffle_buf");
+  EXPECT_EQ(parsed.oom->requested_bytes, 4096u);
+  EXPECT_EQ(parsed.oom->used_bytes, 60000u);
+  EXPECT_EQ(parsed.oom->limit_bytes, 61440u);
+  EXPECT_EQ(parsed.oom->span_stack, "wesp.generate");
+  ASSERT_EQ(parsed.oom->breakdown.size(), 2u);
+  EXPECT_EQ(parsed.oom->breakdown[0].tag, "cluster.shuffle_buf");
+  EXPECT_EQ(parsed.oom->breakdown[0].used_bytes, 50000u);
+  EXPECT_EQ(parsed.oom->breakdown[1].peak_bytes, 12000u);
+  ASSERT_EQ(parsed.oom->headroom_pct.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.oom->headroom_pct[1], 12.5);
+  EXPECT_DOUBLE_EQ(parsed.oom->headroom_t[2], 0.3);
+
+  // A report without an OOM stays without one through the round trip.
+  RunReport clean = RunReport::Collect(Registry::Global());
+  clean.oom.reset();
+  RunReport clean_parsed;
+  clean_parsed.oom = MakeOomReport();  // must be overwritten by FromJson
+  ASSERT_TRUE(RunReport::FromJson(clean.ToJson(), &clean_parsed).ok());
+  EXPECT_FALSE(clean_parsed.oom.has_value());
+}
+
+TEST_F(ObsTest, RecordOomFlowsIntoCollectAndResetClears) {
+  EXPECT_FALSE(LastOom().has_value());
+  RecordOom(MakeOomReport());
+  EXPECT_EQ(GetCounter("mem.oom_events")->value(), 1u);
+
+  RunReport report = RunReport::Collect(Registry::Global());
+  ASSERT_TRUE(report.oom.has_value());
+  EXPECT_EQ(report.oom->tag, "cluster.shuffle_buf");
+  // The human-readable table names the failing machine and tag.
+  EXPECT_NE(report.ToTable().find("mem.oom"), std::string::npos);
+  EXPECT_NE(report.ToTable().find("machine 2"), std::string::npos);
+
+  Registry::Global().Reset();
+  EXPECT_FALSE(LastOom().has_value());
+  EXPECT_FALSE(RunReport::Collect(Registry::Global()).oom.has_value());
+}
+
+TEST_F(ObsTest, StandaloneOomReportJsonNamesTagAndMachine) {
+  std::string json = OomReportToJson(MakeOomReport());
+  EXPECT_NE(json.find("\"tag\": \"cluster.shuffle_buf\""), std::string::npos);
+  EXPECT_NE(json.find("\"machine\": 2"), std::string::npos);
+  EXPECT_NE(json.find("storage.extsort.run"), std::string::npos);
+}
+
+TEST_F(ObsTest, PublishMemoryGaugesTracksLiveBudgets) {
+  MemoryBudget budget(1000, /*machine=*/5);
+  budget.Allocate(250, budget.Tag("test.component"));
+  PublishMemoryGauges();
+  auto gauges = Registry::Global().GaugeValues();
+  EXPECT_DOUBLE_EQ(gauges.at("mem.m5.used_bytes"), 250.0);
+  EXPECT_DOUBLE_EQ(gauges.at("mem.m5.headroom_pct"), 75.0);
+  EXPECT_GE(gauges.at("mem.used_bytes"), 250.0);
+  EXPECT_LE(gauges.at("mem.headroom_pct"), 75.0);
+  EXPECT_DOUBLE_EQ(gauges.at("mem.tag.test.component.peak_bytes"), 250.0);
+  budget.Release(250, budget.Tag("test.component"));
+}
+
+TEST_F(ObsTest, RetiringBudgetFoldsTagPeaksIntoRegistry) {
+  PreregisterCanonicalMetrics();  // installs the budget retire hook
+  {
+    MemoryBudget budget(0, /*machine=*/4);
+    budget.Allocate(777, budget.Tag("test.retired"));
+    budget.Release(777, budget.Tag("test.retired"));
+  }
+  auto gauges = Registry::Global().GaugeValues();
+  EXPECT_DOUBLE_EQ(gauges.at("mem.tag.test.retired.peak_bytes"), 777.0);
+  EXPECT_GE(gauges.at("mem.peak_machine_bytes"), 777.0);
+  auto machines = Registry::Global().MachineStats();
+  EXPECT_DOUBLE_EQ(machines.at(4).at("peak_bytes"), 777.0);
 }
 
 }  // namespace

@@ -129,6 +129,40 @@ TEST(ReportDiffTest, RealClockGaugesAreSkippedByDefault) {
   EXPECT_FALSE(DiffReports(baseline, current, options).ok());
 }
 
+TEST(ReportDiffTest, PerTagPeakGaugesGateViaPrefixRule) {
+  RunReport baseline = MakeBaseline();
+  baseline.gauges["mem.tag.core.scope_dedup.peak_bytes"] = 1000000.0;
+  RunReport current = baseline;
+
+  // Within the 0.5 relative prefix tolerance: passes.
+  current.gauges["mem.tag.core.scope_dedup.peak_bytes"] = 1400000.0;
+  EXPECT_TRUE(DiffReports(baseline, current, DiffOptions::Defaults()).ok());
+
+  // A tag's peak doubling is a memory regression.
+  current.gauges["mem.tag.core.scope_dedup.peak_bytes"] = 2000001.0;
+  EXPECT_FALSE(DiffReports(baseline, current, DiffOptions::Defaults()).ok());
+
+  // A tag vanishing (the bench stopped attributing it) is a regression too.
+  current.gauges.erase("mem.tag.core.scope_dedup.peak_bytes");
+  DiffResult result = DiffReports(baseline, current, DiffOptions::Defaults());
+  EXPECT_FALSE(result.ok());
+
+  // An explicit per-name tolerance still outranks the prefix rule.
+  current = baseline;
+  current.gauges["mem.tag.core.scope_dedup.peak_bytes"] = 4000000.0;
+  DiffOptions options = DiffOptions::Defaults();
+  options.tolerances["mem.tag.core.scope_dedup.peak_bytes"] = 10.0;
+  EXPECT_TRUE(DiffReports(baseline, current, options).ok());
+}
+
+TEST(ReportDiffTest, StealCountsAreSkippedByDefault) {
+  RunReport baseline = MakeBaseline();
+  baseline.counters["sched.steals"] = 24;
+  RunReport current = baseline;
+  current.counters["sched.steals"] = 25;  // thread-timing, not a regression
+  EXPECT_TRUE(DiffReports(baseline, current, DiffOptions::Defaults()).ok());
+}
+
 TEST(ReportDiffTest, SimulatedGaugeUsesBuiltInTolerance) {
   RunReport baseline = MakeBaseline();
   RunReport current = baseline;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "rng/random.h"
@@ -122,6 +125,188 @@ TEST(ScopedAllocationTest, NullBudgetIsNoop) {
   ScopedAllocation alloc(nullptr, 1024);
   alloc.ResizeTo(2048);
   EXPECT_EQ(alloc.bytes(), 2048u);
+}
+
+TEST(MemoryBudgetTest, TagsAttributeUsedAndPeak) {
+  MemoryBudget budget;
+  MemoryBudget::TagStats* dedup = budget.Tag("core.scope_dedup");
+  MemoryBudget::TagStats* shuffle = budget.Tag("cluster.shuffle_buf");
+  EXPECT_EQ(budget.Tag("core.scope_dedup"), dedup);  // interned, stable
+  budget.Allocate(100, dedup);
+  budget.Allocate(300, shuffle);
+  budget.Release(50, dedup);
+  EXPECT_EQ(dedup->used.load(), 50u);
+  EXPECT_EQ(dedup->peak.load(), 100u);
+  EXPECT_EQ(shuffle->used.load(), 300u);
+  EXPECT_EQ(budget.used_bytes(), 350u);
+
+  std::vector<OomReport::TagUsage> breakdown = budget.TagBreakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].tag, "cluster.shuffle_buf");
+  EXPECT_EQ(breakdown[0].used_bytes, 300u);
+  EXPECT_EQ(breakdown[1].tag, "core.scope_dedup");
+  EXPECT_EQ(breakdown[1].peak_bytes, 100u);
+}
+
+TEST(MemoryBudgetTest, OomErrorCarriesForensicReport) {
+  MemoryBudget budget(1000, /*machine=*/3);
+  budget.Allocate(600, budget.Tag("baseline.rmat.edge_set"));
+  try {
+    budget.Allocate(500, budget.Tag("cluster.shuffle_buf"));
+    FAIL() << "expected OomError";
+  } catch (const OomError& e) {
+    const OomReport& report = e.report();
+    EXPECT_EQ(report.machine, 3);
+    EXPECT_EQ(report.tag, "cluster.shuffle_buf");
+    EXPECT_EQ(report.requested_bytes, 500u);
+    EXPECT_EQ(report.used_bytes, 600u);
+    EXPECT_EQ(report.limit_bytes, 1000u);
+    ASSERT_EQ(report.breakdown.size(), 2u);
+    EXPECT_EQ(report.breakdown[0].tag, "baseline.rmat.edge_set");
+    EXPECT_EQ(report.breakdown[0].used_bytes, 600u);
+    // what() names machine and tag for bare catch sites.
+    EXPECT_NE(std::string(e.what()).find("machine 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cluster.shuffle_buf"),
+              std::string::npos);
+  }
+  // Failed allocation must not leak into total or per-tag accounting.
+  EXPECT_EQ(budget.used_bytes(), 600u);
+  EXPECT_EQ(budget.Tag("cluster.shuffle_buf")->used.load(), 0u);
+}
+
+TEST(MemoryBudgetTest, ReleaseAllZerosUsedAndKeepsPeaks) {
+  MemoryBudget budget;
+  MemoryBudget::TagStats* tag = budget.Tag("cluster.shuffle_buf");
+  budget.Allocate(512, tag);
+  budget.ReleaseAll();
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(tag->used.load(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 512u);
+  EXPECT_EQ(tag->peak.load(), 512u);
+}
+
+TEST(MemoryBudgetTest, ForEachBudgetSeesLiveBudgets) {
+  MemoryBudget budget(0, /*machine=*/7);
+  budget.Allocate(123);
+  bool seen = false;
+  MemoryBudget::ForEachBudget([&](const MemoryBudget& b) {
+    if (&b == &budget) {
+      seen = true;
+      EXPECT_EQ(b.machine(), 7);
+      EXPECT_EQ(b.used_bytes(), 123u);
+    }
+  });
+  EXPECT_TRUE(seen);
+}
+
+#ifndef NDEBUG
+TEST(MemoryBudgetDeathTest, ReleaseUnderflowDiesInDebugBuilds) {
+  EXPECT_DEATH(
+      {
+        MemoryBudget budget;
+        budget.Allocate(10);
+        budget.Release(20);
+      },
+      "release underflow");
+}
+#else
+TEST(MemoryBudgetTest, ReleaseUnderflowClampsToZeroInReleaseBuilds) {
+  MemoryBudget budget;
+  MemoryBudget::TagStats* tag = budget.Tag("t");
+  budget.Allocate(10, tag);
+  budget.Release(20, tag);  // caller bug: clamps instead of wrapping to 2^64
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(tag->used.load(), 0u);
+  budget.Allocate(5, tag);  // accounting still usable afterwards
+  EXPECT_EQ(budget.used_bytes(), 5u);
+}
+#endif
+
+TEST(MemoryBudgetTest, ConcurrentAllocationsTrackPeakExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1 << 16;
+  MemoryBudget budget;
+  MemoryBudget::TagStats* tag = budget.Tag("test.concurrent");
+  std::atomic<int> ready{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      budget.Allocate(kPerThread, tag);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // All threads held their registration simultaneously at join time, so the
+  // peak must reflect the full sum (fetch_add returns the exact high-water).
+  EXPECT_EQ(budget.used_bytes(), kThreads * kPerThread);
+  EXPECT_EQ(budget.peak_bytes(), kThreads * kPerThread);
+  EXPECT_EQ(tag->peak.load(), kThreads * kPerThread);
+  budget.Release(kThreads * kPerThread, tag);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), kThreads * kPerThread);
+}
+
+TEST(ScopedAllocationTest, FailedGrowKeepsRegistrationConsistent) {
+  MemoryBudget budget(1000);
+  ScopedAllocation alloc(&budget, 400, "test.buffer");
+  EXPECT_THROW(alloc.ResizeTo(2000), OomError);
+  // The failed grow left both the scope and the budget at the old size...
+  EXPECT_EQ(alloc.bytes(), 400u);
+  EXPECT_EQ(budget.used_bytes(), 400u);
+  // ...so shrinking and destruction stay balanced.
+  alloc.ResizeTo(100);
+  EXPECT_EQ(budget.used_bytes(), 100u);
+}
+
+TEST(ScopedAllocationTest, DestructorReleasesTaggedRegistration) {
+  MemoryBudget budget;
+  MemoryBudget::TagStats* tag = budget.Tag("test.buffer");
+  {
+    ScopedAllocation alloc(&budget, 256, tag);
+    EXPECT_EQ(tag->used.load(), 256u);
+  }
+  EXPECT_EQ(tag->used.load(), 0u);
+  EXPECT_EQ(tag->peak.load(), 256u);
+}
+
+TEST(ByteSizeTest, ParsesHumanReadableSizes) {
+  std::uint64_t bytes = 0;
+  EXPECT_TRUE(ParseByteSize("1024", &bytes));
+  EXPECT_EQ(bytes, 1024u);
+  EXPECT_TRUE(ParseByteSize("512m", &bytes));
+  EXPECT_EQ(bytes, 512ULL << 20);
+  EXPECT_TRUE(ParseByteSize("2g", &bytes));
+  EXPECT_EQ(bytes, 2ULL << 30);
+  EXPECT_TRUE(ParseByteSize("64K", &bytes));
+  EXPECT_EQ(bytes, 64ULL << 10);
+  EXPECT_TRUE(ParseByteSize("1t", &bytes));
+  EXPECT_EQ(bytes, 1ULL << 40);
+  EXPECT_TRUE(ParseByteSize("100b", &bytes));
+  EXPECT_EQ(bytes, 100u);
+  EXPECT_TRUE(ParseByteSize("16MiB", &bytes));
+  EXPECT_EQ(bytes, 16ULL << 20);
+  EXPECT_TRUE(ParseByteSize("1.5g", &bytes));
+  EXPECT_EQ(bytes, 3ULL << 29);  // fractional values round to bytes
+}
+
+TEST(ByteSizeTest, RejectsMalformedSizes) {
+  std::uint64_t bytes = 0;
+  EXPECT_FALSE(ParseByteSize("", &bytes));
+  EXPECT_FALSE(ParseByteSize("abc", &bytes));
+  EXPECT_FALSE(ParseByteSize("12q", &bytes));
+  EXPECT_FALSE(ParseByteSize("12mx", &bytes));
+  EXPECT_FALSE(ParseByteSize("-5m", &bytes));
+}
+
+TEST(FlagParserTest, GetBytesParsesSuffixedSizes) {
+  const char* argv[] = {"prog", "--mem_budget=48m", "--bad=12q"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetBytes("mem_budget", 0), 48ULL << 20);
+  EXPECT_EQ(flags.GetBytes("missing", 7), 7u);   // absent -> default
+  EXPECT_EQ(flags.GetBytes("bad", 9), 9u);       // unparseable -> default
 }
 
 TEST(StatusTest, OkByDefault) {

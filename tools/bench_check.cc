@@ -95,7 +95,9 @@ int main(int argc, char** argv) {
     options.default_gauge_rel_tol = flags.GetDouble("default_gauge_tol", -1.0);
   }
   if (flags.Has("no_histograms")) options.check_histograms = false;
-  options.skip = flags.GetStringList("skip");
+  for (const std::string& name : flags.GetStringList("skip")) {
+    options.skip.push_back(name);  // on top of the default skip list
+  }
   for (const std::string& spec : flags.GetStringList("tol")) {
     std::size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0) {
