@@ -15,6 +15,8 @@
 
 #include "core/scheduler.h"
 #include "core/trilliong.h"
+#include "fault/fault_injector.h"
+#include "fault/journal.h"
 #include "format/adj6.h"
 #include "format/csr6.h"
 #include "format/tsv.h"
@@ -29,23 +31,43 @@
 
 namespace {
 
+std::string ShardPath(const std::string& out, int worker,
+                      const std::string& format) {
+  return out + ".w" + std::to_string(worker) + "." + format;
+}
+
 std::unique_ptr<tg::core::ScopeSink> MakeSink(const std::string& format,
                                               const std::string& path,
                                               tg::VertexId lo,
                                               tg::VertexId hi,
                                               bool transposed) {
   if (format == "tsv") {
-    return std::make_unique<tg::format::TsvWriter>(path + ".tsv", transposed);
+    return std::make_unique<tg::format::TsvWriter>(path, transposed);
   }
   if (format == "adj6") {
-    return std::make_unique<tg::format::Adj6Writer>(path + ".adj6");
+    return std::make_unique<tg::format::Adj6Writer>(path);
   }
   if (format == "csr6") {
-    return std::make_unique<tg::format::Csr6Writer>(path + ".csr6", lo, hi);
+    return std::make_unique<tg::format::Csr6Writer>(path, lo, hi);
   }
   std::fprintf(stderr, "unknown format '%s' (tsv|adj6|csr6)\n",
                format.c_str());
   std::exit(1);
+}
+
+/// Resume-constructing counterpart of MakeSink: restores a writer from the
+/// sink-state token the journal recorded for this shard.
+std::unique_ptr<tg::core::ScopeSink> MakeResumedSink(
+    const std::string& format, const std::string& path, tg::VertexId lo,
+    tg::VertexId hi, bool transposed, const std::string& state) {
+  tg::core::ResumeFrom from{state};
+  if (format == "tsv") {
+    return std::make_unique<tg::format::TsvWriter>(path, transposed, from);
+  }
+  if (format == "adj6") {
+    return std::make_unique<tg::format::Adj6Writer>(path, from);
+  }
+  return std::make_unique<tg::format::Csr6Writer>(path, lo, hi, from);
 }
 
 }  // namespace
@@ -62,6 +84,16 @@ int main(int argc, char** argv) {
         "       [--metrics_json=PATH] [--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
         "       [--mem_budget=SIZE] [--oom_report=PATH]\n"
+        "       [--fault_plan=PLAN] [--journal] [--resume]\n"
+        "--fault_plan injects deterministic faults into the simulated\n"
+        "cluster (grammar in docs/FAULT_TOLERANCE.md, e.g.\n"
+        "'m1:crash@chunk=3' or 'seed=7,*:crash@p=0.05'); TG_FAULT_PLAN in\n"
+        "the environment is honored when the flag is absent.\n"
+        "--journal checkpoints every committed chunk to <out>.journal so an\n"
+        "interrupted run can be continued; --resume (implies --journal)\n"
+        "loads that journal, truncates the output shards back to the last\n"
+        "committed chunk, and generates only what is missing — the resumed\n"
+        "files are byte-identical to an uninterrupted run.\n"
         "--mem_budget caps the generator's logical working set (accepts\n"
         "human sizes: 512m, 2g, 64k, plain bytes); exceeding it aborts the\n"
         "run with an OomError whose forensics (machine, tag, per-tag byte\n"
@@ -105,6 +137,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--out=PREFIX is required (try --help)\n");
     return 1;
   }
+  if (format != "tsv" && format != "adj6" && format != "csr6") {
+    std::fprintf(stderr, "unknown format '%s' (tsv|adj6|csr6)\n",
+                 format.c_str());
+    return 1;
+  }
+
+  // --- fault injection / crash recovery / resume (see src/fault/). ---
+  const std::string fault_plan_str = flags.GetString("fault_plan", "");
+  const bool resume = flags.GetBool("resume", false);
+  const bool journaling = flags.GetBool("journal", false) || resume;
+  std::unique_ptr<tg::fault::FaultInjector> injector;
+  if (!fault_plan_str.empty()) {
+    tg::fault::FaultPlan plan;
+    tg::Status plan_status = tg::fault::FaultPlan::Parse(fault_plan_str, &plan);
+    if (!plan_status.ok()) {
+      std::fprintf(stderr, "bad --fault_plan: %s\n",
+                   plan_status.ToString().c_str());
+      return 1;
+    }
+    injector = std::make_unique<tg::fault::FaultInjector>(std::move(plan),
+                                                          config.num_workers);
+    config.fault_injector = injector.get();
+  }
+  // When the flag is absent, tg::core::Generate arms TG_FAULT_PLAN itself.
+
+  const std::string journal_path = out + ".journal";
+  const std::uint64_t fingerprint =
+      tg::fault::ConfigFingerprint(config, format);
+  tg::fault::JournalState journal_state;
+  if (resume) {
+    tg::Status load = tg::fault::LoadJournal(journal_path, &journal_state);
+    if (!load.ok()) {
+      std::fprintf(stderr, "--resume: %s\n", load.ToString().c_str());
+      return 1;
+    }
+    if (journal_state.done) {
+      std::printf("%s records a completed run; nothing to resume\n",
+                  journal_path.c_str());
+      return 0;
+    }
+    if (journal_state.fingerprint != fingerprint) {
+      std::fprintf(stderr,
+                   "--resume: %s was written by a run with different "
+                   "parameters; refusing to splice outputs\n",
+                   journal_path.c_str());
+      return 1;
+    }
+    config.resume_next_seq.assign(
+        static_cast<std::size_t>(config.num_workers), 0);
+    for (const auto& [range, range_state] : journal_state.ranges) {
+      if (range >= 0 && range < config.num_workers) {
+        config.resume_next_seq[range] = range_state.next_seq;
+      }
+    }
+  }
+
+  std::unique_ptr<tg::fault::Journal> journal;
+  if (journaling) {
+    tg::Status js =
+        resume ? tg::fault::Journal::Reopen(journal_path, &journal)
+               : tg::fault::Journal::Start(journal_path, fingerprint, &journal);
+    if (!js.ok()) {
+      std::fprintf(stderr, "cannot open journal: %s\n", js.ToString().c_str());
+      return 1;
+    }
+    config.chunk_commit_hook = [&journal](const tg::core::Chunk& chunk,
+                                          tg::core::ScopeSink* sink) {
+      auto* resumable = dynamic_cast<tg::core::ResumableSink*>(sink);
+      if (resumable == nullptr) return;
+      std::string token;
+      // A failed checkpoint (e.g. injected I/O failure) writes no record:
+      // the journal never claims more than the shard durably holds.
+      if (!resumable->CommitState(&token).ok()) return;
+      tg::Status append = journal->AppendCommit(chunk.range, chunk.seq, token);
+      if (!append.ok()) {
+        std::fprintf(stderr, "journal append failed: %s\n",
+                     append.ToString().c_str());
+      }
+    };
+  }
 
   // A budget of 0 tracks peaks without capping; any other value turns the
   // budget into a hard cap that reproduces the paper's O.O.M behaviour.
@@ -145,14 +257,25 @@ int main(int argc, char** argv) {
 
   tg::Stopwatch watch;
   bool oomed = false;
+  bool faulted = false;
   tg::core::GenerateStats stats;
   try {
     stats = tg::core::Generate(
         config,
-        [&](int worker, tg::VertexId lo, tg::VertexId hi) {
-          return MakeSink(format, out + ".w" + std::to_string(worker), lo, hi,
-                          transposed);
+        [&](int worker, tg::VertexId lo, tg::VertexId hi)
+            -> std::unique_ptr<tg::core::ScopeSink> {
+          const std::string path = ShardPath(out, worker, format);
+          const auto committed = journal_state.ranges.find(worker);
+          if (resume && committed != journal_state.ranges.end()) {
+            return MakeResumedSink(format, path, lo, hi, transposed,
+                                   committed->second.sink_state);
+          }
+          return MakeSink(format, path, lo, hi, transposed);
         });
+  } catch (const tg::fault::FaultError& e) {
+    faulted = true;
+    std::fprintf(stderr, "unrecoverable fault after %.2f s: %s\n",
+                 watch.ElapsedSeconds(), e.what());
   } catch (const tg::OomError& e) {
     oomed = true;
     if (want_metrics) tg::obs::RecordOom(e.report());
@@ -170,7 +293,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!oomed) {
+  const bool completed = !oomed && !faulted;
+  if (completed) {
     std::printf(
         "done: %llu edges, %llu scopes, d_max=%llu in %.2f s "
         "(partition %.3f s, generate %.3f s)\n",
@@ -188,6 +312,26 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.sched_chunks),
           static_cast<unsigned long long>(stats.sched_steals),
           stats.sched_imbalance);
+    }
+    if (stats.sched_recovered > 0) {
+      std::printf("fault recovery: %llu chunks re-run on surviving machines\n",
+                  static_cast<unsigned long long>(stats.sched_recovered));
+    }
+  }
+
+  if (completed && journal != nullptr) {
+    tg::Status done_status = journal->AppendDone();
+    if (!done_status.ok()) {
+      std::fprintf(stderr, "journal close failed: %s\n",
+                   done_status.ToString().c_str());
+    } else if (format == "csr6") {
+      // The run is durably complete: the degree sidecars kept for resume
+      // are dead weight now.
+      for (int w = 0; w < config.num_workers; ++w) {
+        std::remove(tg::format::Csr6Writer::SidecarPath(
+                        ShardPath(out, w, format))
+                        .c_str());
+      }
     }
   }
 
@@ -221,6 +365,13 @@ int main(int argc, char** argv) {
     report.meta["direction"] = transposed ? "in" : "out";
     report.meta["out"] = out;
     report.meta["wall_seconds"] = std::to_string(watch.ElapsedSeconds());
+    if (config.fault_injector != nullptr && config.fault_injector->armed()) {
+      report.meta["fault_plan"] = config.fault_injector->plan().ToString();
+    } else if (!fault_plan_str.empty()) {
+      report.meta["fault_plan"] = fault_plan_str;
+    }
+    if (journaling) report.meta["journal"] = journal_path;
+    if (resume) report.meta["resumed"] = "1";
     if (sampler != nullptr) sampler->ExportTo(&report);
     if (metrics_table) std::fputs(report.ToTable().c_str(), stdout);
     if (!metrics_json.empty()) {
@@ -233,5 +384,6 @@ int main(int argc, char** argv) {
       std::printf("metrics report written to %s\n", metrics_json.c_str());
     }
   }
-  return oomed ? 1 : 0;
+  if (oomed) return 1;
+  return faulted ? 2 : 0;
 }

@@ -2,6 +2,7 @@
 #define TRILLIONG_CLUSTER_SIM_CLUSTER_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "cluster/network_model.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -17,6 +19,17 @@
 #include "util/stopwatch.h"
 
 namespace tg::cluster {
+
+/// Renders a captured worker exception for the failure log.
+inline std::string DescribeError(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
 
 /// Simulated cluster: the substitute for the paper's "one master + ten slave
 /// PCs" testbed (Section 7.1). Machines are modeled as groups of worker
@@ -67,11 +80,14 @@ class SimCluster {
     return peak;
   }
 
-  /// Runs fn(worker) on num_workers() real threads; rethrows the first
-  /// worker exception (e.g. OomError) after all workers complete. Returns
-  /// the maximum per-worker CPU time — the simulated parallel wall-clock of
-  /// the phase (on an oversubscribed host, thread CPU time is what each
-  /// worker would have taken on its own core).
+  /// Runs fn(worker) on num_workers() real threads. Every worker failure is
+  /// recorded (cluster.worker_failures counter + one log line each) before
+  /// the first exception is rethrown with a note of how many others were
+  /// suppressed — a 60-worker run that loses 12 workers to the same dead
+  /// disk reports all 12, not an arbitrary one. Returns the maximum
+  /// per-worker CPU time — the simulated parallel wall-clock of the phase
+  /// (on an oversubscribed host, thread CPU time is what each worker would
+  /// have taken on its own core).
   double RunParallel(const std::function<void(int)>& fn) const {
     const int n = num_workers();
     std::vector<std::exception_ptr> errors(n);
@@ -93,8 +109,24 @@ class SimCluster {
       });
     }
     for (std::thread& t : threads) t.join();
-    for (const std::exception_ptr& e : errors) {
-      if (e) std::rethrow_exception(e);
+    std::exception_ptr first;
+    int failures = 0;
+    for (int w = 0; w < n; ++w) {
+      if (!errors[w]) continue;
+      ++failures;
+      if (!first) first = errors[w];
+      obs::GetCounter("cluster.worker_failures")->Increment();
+      std::fprintf(stderr, "[tg::cluster] worker %d (machine %d) failed: %s\n",
+                   w, MachineOfWorker(w), DescribeError(errors[w]).c_str());
+    }
+    if (first) {
+      if (failures > 1) {
+        std::fprintf(stderr,
+                     "[tg::cluster] rethrowing first of %d worker failures "
+                     "(%d suppressed)\n",
+                     failures, failures - 1);
+      }
+      std::rethrow_exception(first);
     }
     double max_busy = 0;
     for (double b : busy) max_busy = std::max(max_busy, b);
@@ -146,6 +178,23 @@ class SimCluster {
                        std::max(sent[m], received[m]), num_machines() - 1));
       total_bytes += sent[m];
     }
+    // Fault model for shuffle-heavy baselines: a machine that crashes during
+    // the collective loses its whole inbox, and unlike AVS recomputation the
+    // data cannot be regenerated locally — every peer must resend, so the
+    // wire is charged a second pass over the victim's received bytes. This
+    // is the recovery-cost asymmetry the recursive-vector model predicts
+    // (and that bench_fig12's recovery datapoint measures).
+    if (fault_injector_ != nullptr && fault_injector_->armed()) {
+      for (int m = 0; m < num_machines(); ++m) {
+        if (!fault_injector_->OnShuffleBoundary(m)) continue;
+        const double retransfer = options_.network.TransferSeconds(
+            received[m], num_machines() - 1);
+        seconds += retransfer;
+        obs::GetCounter("fault.shuffle_retransfers")->Increment();
+        obs::GetCounter("fault.retransferred_bytes")->Add(received[m]);
+        obs::TraceWire("fault.shuffle_retransfer", retransfer);
+      }
+    }
     network_seconds_ += seconds;
     shuffled_bytes_ += total_bytes;
     obs::GetCounter("cluster.shuffled_bytes")->Add(total_bytes);
@@ -179,11 +228,20 @@ class SimCluster {
     shuffled_bytes_ = 0;
   }
 
+  /// Attaches a fault injector (not owned; must outlive the cluster). The
+  /// AVS driver passes it through to the scheduler for chunk-level recovery;
+  /// Shuffle consults it directly for the baselines' re-transfer charge.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_injector_; }
+
  private:
   Options options_;
   std::vector<std::unique_ptr<MemoryBudget>> budgets_;
   double network_seconds_ = 0;
   std::uint64_t shuffled_bytes_ = 0;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace tg::cluster

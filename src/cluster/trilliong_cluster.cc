@@ -156,6 +156,25 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
     sched_options.machine_tags[w] = cluster->MachineOfWorker(w);
   }
 
+  // Fault injection: an explicit injector on the config wins, then one
+  // attached to the cluster, then the TG_FAULT_PLAN environment hook. A
+  // machine that crashes mid-generation stops taking chunks, its queued
+  // chunks migrate to surviving machines through the scheduler's recovery
+  // queue, and — scope streams being forked per vertex — the output stays
+  // bit-identical to the fault-free run.
+  std::unique_ptr<fault::FaultInjector> env_injector;
+  fault::FaultInjector* injector = config.fault_injector != nullptr
+                                       ? config.fault_injector
+                                       : cluster->fault_injector();
+  if (injector == nullptr) {
+    env_injector =
+        fault::FaultInjector::FromEnvOrNull(cluster->num_machines());
+    injector = env_injector.get();
+  }
+  sched_options.fault_injector = injector;
+  sched_options.resume_next_seq = config.resume_next_seq;
+  sched_options.on_chunk_commit = config.chunk_commit_hook;
+
   auto run_generation = [&]<typename Real>() {
     auto make_worker = [&](int w) -> core::ChunkFn {
       auto generator = std::make_shared<core::AvsRangeGenerator<Real>>(
@@ -179,6 +198,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   stats.generate.max_worker_cpu_seconds = sched.max_worker_cpu_seconds;
   stats.generate.sched_chunks = sched.num_chunks;
   stats.generate.sched_steals = sched.num_steals;
+  stats.generate.sched_recovered = sched.num_recovered;
   stats.generate.sched_imbalance = sched.imbalance;
 
   core::AvsWorkerStats merged;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "core/partitioner.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/stopwatch.h"
@@ -66,13 +68,21 @@ struct WorkerDeque {
   std::deque<Chunk> q;
 };
 
+/// A chunk that completed out of order, waiting for its predecessors. The
+/// Chunk rides along so the commit hook fires with full chunk identity when
+/// the parked buffer is finally drained.
+struct ParkedChunk {
+  Chunk chunk;
+  ChunkBuffer buffer;
+};
+
 /// Per-range commit state: the reorder buffer that turns
 /// completed-in-any-order chunks back into in-vertex-order sink delivery.
 struct RangeCommit {
   std::mutex mu;
   std::uint32_t next_seq = 0;  ///< next chunk seq the sink may receive
   std::uint32_t total = 0;     ///< chunks this range was split into
-  std::map<std::uint32_t, ChunkBuffer> parked;  ///< done but out of order
+  std::map<std::uint32_t, ParkedChunk> parked;  ///< done but out of order
   ScopeSink* sink = nullptr;
 };
 
@@ -90,20 +100,38 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   TG_CHECK(options.machine_tags.empty() ||
            static_cast<int>(options.machine_tags.size()) == num_workers);
 
+  TG_CHECK(options.resume_next_seq.empty() ||
+           static_cast<int>(options.resume_next_seq.size()) == num_ranges);
+  fault::FaultInjector* injector = options.fault_injector;
+  const bool faulty = injector != nullptr && injector->armed();
+
   std::vector<WorkerDeque> deques(num_workers);
   std::vector<RangeCommit> ranges(num_ranges);
+  std::uint64_t enqueued = 0;
   for (int w = 0; w < num_workers; ++w) {
     for (const Chunk& c : queues[w]) {
       TG_CHECK(c.range >= 0 && c.range < num_ranges);
       ++ranges[c.range].total;
+      // Chunks a previous process already committed (per the journal) are
+      // skipped entirely: their scopes exist durably in the output.
+      if (!options.resume_next_seq.empty() &&
+          c.seq < options.resume_next_seq[c.range]) {
+        continue;
+      }
       deques[w].q.push_back(c);
+      ++enqueued;
     }
   }
   for (int r = 0; r < num_ranges; ++r) {
     TG_CHECK(sinks[r] != nullptr);
     ranges[r].sink = sinks[r];
-    // A range with no chunks will never commit; honor the Finish contract.
-    if (ranges[r].total == 0) sinks[r]->Finish();
+    if (!options.resume_next_seq.empty()) {
+      TG_CHECK(options.resume_next_seq[r] <= ranges[r].total);
+      ranges[r].next_seq = options.resume_next_seq[r];
+    }
+    // A range with nothing left to commit (no chunks, or fully committed by
+    // the interrupted process) will never commit; honor the Finish contract.
+    if (ranges[r].next_seq == ranges[r].total) sinks[r]->Finish();
   }
 
   std::atomic<bool> abort{false};
@@ -111,6 +139,16 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   std::exception_ptr first_error;
   std::atomic<std::uint64_t> executed{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> recovered_chunks{0};
+  // Chunks enqueued but not yet committed. Only consulted on the fault path,
+  // where "my deque and my domain are empty" no longer implies "done" — a
+  // machine death can put orphaned chunks on the recovery queue at any time.
+  std::atomic<std::uint64_t> outstanding{enqueued};
+  // Orphaned chunks of dead machines, pulled by any surviving worker once
+  // its own steal domain runs dry. Cross-domain on purpose: recovery is the
+  // one case where work legitimately crosses a simulated machine boundary.
+  std::mutex recovery_mu;
+  std::deque<Chunk> recovery_q;
   std::vector<double> cpu(num_workers, 0.0);
 
   auto domain_of = [&](int w) {
@@ -157,42 +195,127 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
     RangeCommit& rc = ranges[c.range];
     std::lock_guard<std::mutex> lock(rc.mu);
     if (c.seq != rc.next_seq) {
-      rc.parked.emplace(c.seq, std::move(*buf));
+      rc.parked.emplace(c.seq, ParkedChunk{c, std::move(*buf)});
       return;
     }
     buf->FlushTo(rc.sink);
+    if (options.on_chunk_commit) options.on_chunk_commit(c, rc.sink);
     ++rc.next_seq;
     while (!rc.parked.empty() && rc.parked.begin()->first == rc.next_seq) {
-      rc.parked.begin()->second.FlushTo(rc.sink);
+      ParkedChunk& parked = rc.parked.begin()->second;
+      parked.buffer.FlushTo(rc.sink);
+      if (options.on_chunk_commit) options.on_chunk_commit(parked.chunk, rc.sink);
       rc.parked.erase(rc.parked.begin());
       ++rc.next_seq;
     }
     if (rc.next_seq == rc.total) rc.sink->Finish();
   };
 
+  // Moves every chunk still queued on worker `w` (whose machine just died)
+  // onto the recovery queue. The chunk the worker is mid-way through is not
+  // here — crashes take effect at chunk boundaries, so in-flight work
+  // completes and commits first (docs/FAULT_TOLERANCE.md, "crash model").
+  auto orphan_own_deque = [&](int w) {
+    WorkerDeque& wd = deques[w];
+    std::lock_guard<std::mutex> lock(wd.mu);
+    if (wd.q.empty()) return;
+    std::lock_guard<std::mutex> rlock(recovery_mu);
+    while (!wd.q.empty()) {
+      recovery_q.push_back(wd.q.front());
+      wd.q.pop_front();
+    }
+  };
+
+  auto try_pop_recovery = [&](Chunk* out) {
+    std::lock_guard<std::mutex> lock(recovery_mu);
+    if (recovery_q.empty()) return false;
+    *out = recovery_q.front();
+    recovery_q.pop_front();
+    return true;
+  };
+
   auto worker_body = [&](int w) {
-    obs::ScopedMachine machine_tag(
-        options.machine_tags.empty() ? w : options.machine_tags[w]);
+    const int machine =
+        options.machine_tags.empty() ? w : options.machine_tags[w];
+    obs::ScopedMachine machine_tag(machine);
     TG_SPAN("avs.generate");
     const double cpu_start = ThreadCpuSeconds();
     try {
       ChunkFn fn = make_worker(w);
       ChunkBuffer local;
       Chunk c;
+      double slow_factor = 1.0;
+      int transient_attempts = 0;
       while (!abort.load(std::memory_order_relaxed)) {
-        bool stolen = false;
-        if (!try_pop_own(w, &c)) {
-          if (!try_steal(w, &c)) break;
-          stolen = true;
+        if (faulty) {
+          // Chunk boundary: consult the injector before taking more work.
+          // Crashes take effect here, so a chunk in flight always commits.
+          if (injector->machine_dead(machine)) {
+            orphan_own_deque(w);
+            break;
+          }
+          fault::Decision d = injector->OnChunkBoundary(machine);
+          if (d.kind == fault::Decision::Kind::kDie) {
+            std::_Exit(fault::kKilledExitCode);
+          }
+          if (d.kind == fault::Decision::Kind::kCrash) {
+            orphan_own_deque(w);
+            break;
+          }
+          if (d.kind == fault::Decision::Kind::kTransient) {
+            if (++transient_attempts >= fault::FaultInjector::kMaxRetries) {
+              // Retries exhausted: promote the flaky machine to dead. The
+              // next loop iteration takes the machine_dead exit above.
+              injector->MarkDead(machine);
+              obs::GetCounter("fault.machines_lost")->Increment();
+              continue;
+            }
+            injector->BackoffBeforeRetry(transient_attempts);
+            continue;
+          }
+          transient_attempts = 0;
+          slow_factor = d.slow_factor;
         }
+        bool stolen = false;
+        bool recovered = false;
+        if (!try_pop_own(w, &c)) {
+          if (try_steal(w, &c)) {
+            stolen = true;
+          } else if (faulty && try_pop_recovery(&c)) {
+            recovered = true;
+          } else if (!faulty ||
+                     outstanding.load(std::memory_order_acquire) == 0) {
+            break;
+          } else {
+            // Another machine may still crash and orphan chunks onto the
+            // recovery queue; stay alive until everything has committed.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            continue;
+          }
+        }
+        double chunk_wall = 0.0;
         {
-          TG_SPAN("sched.chunk");
+          TG_SPAN(recovered ? "fault.recover" : "sched.chunk");
+          Stopwatch chunk_timer;
           local.Clear();
           fn(c, &local);
+          if (faulty) chunk_wall = chunk_timer.ElapsedSeconds();
         }
         executed.fetch_add(1, std::memory_order_relaxed);
         if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+        if (recovered) {
+          recovered_chunks.fetch_add(1, std::memory_order_relaxed);
+          obs::GetGauge("fault.recovery_seconds")->Add(chunk_wall);
+        }
+        if (faulty && slow_factor > 1.0) {
+          // A slow machine takes slow_factor× the time per chunk: charge
+          // the difference as real sleep so stealing reacts to it.
+          const double delay = (slow_factor - 1.0) * chunk_wall;
+          obs::GetGauge("fault.delay_seconds")->Add(delay);
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        }
         commit(c, &local);
+        if (faulty) outstanding.fetch_sub(1, std::memory_order_acq_rel);
       }
     } catch (...) {
       {
@@ -214,10 +337,22 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   }
 
   if (first_error) std::rethrow_exception(first_error);
+  if (faulty) {
+    const std::uint64_t lost = outstanding.load(std::memory_order_acquire);
+    if (lost != 0) {
+      // Every worker exited through the crash path: no machine survived to
+      // drain the recovery queue. The caller decides whether this run can
+      // be resumed from its journal.
+      throw fault::FaultError(
+          "all simulated machines crashed; " + std::to_string(lost) +
+          " chunks uncommitted (plan: " + injector->plan().ToString() + ")");
+    }
+  }
 
   SchedulerStats stats;
   stats.num_chunks = executed.load(std::memory_order_relaxed);
   stats.num_steals = steals.load(std::memory_order_relaxed);
+  stats.num_recovered = recovered_chunks.load(std::memory_order_relaxed);
   stats.worker_cpu_seconds = cpu;
   for (double c : cpu) {
     stats.max_worker_cpu_seconds = std::max(stats.max_worker_cpu_seconds, c);
@@ -230,6 +365,9 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   obs::GetCounter("sched.chunks")->Add(stats.num_chunks);
   obs::GetCounter("sched.steals")->Add(stats.num_steals);
   obs::GetGauge("sched.imbalance")->Set(stats.imbalance);
+  if (stats.num_recovered != 0) {
+    obs::GetCounter("fault.recovered_chunks")->Add(stats.num_recovered);
+  }
   return stats;
 }
 

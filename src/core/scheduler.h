@@ -23,6 +23,10 @@
 #include "model/noise.h"
 #include "util/common.h"
 
+namespace tg::fault {
+class FaultInjector;
+}  // namespace tg::fault
+
 namespace tg::core {
 
 /// Default chunks per worker: enough slack for stealing to erase realized
@@ -89,12 +93,33 @@ struct SchedulerOptions {
   /// per-machine stat attribution). Empty means tag worker w as machine w,
   /// matching the in-process driver's convention.
   std::vector<int> machine_tags;
+
+  /// Fault injector consulted at every chunk boundary (see fault/*). When
+  /// set and armed, workers whose simulated machine crashes drain their
+  /// deques into a shared recovery queue that surviving machines pull from
+  /// once their own steal domain runs dry — because chunk generation is
+  /// deterministic in the chunk alone, the recovered output is bit-identical
+  /// to a fault-free run. Null: the fault-free fast path, unchanged.
+  fault::FaultInjector* fault_injector = nullptr;
+
+  /// Resume support: when non-empty (one entry per range), chunks with
+  /// seq < resume_next_seq[range] are treated as already committed by a
+  /// previous process (per the chunk-commit journal) and are neither
+  /// generated nor delivered; the range's sink continues at that seq.
+  std::vector<std::uint32_t> resume_next_seq;
+
+  /// Called under the range's commit lock immediately after each chunk's
+  /// scopes are flushed to the sink (and before Finish on the last chunk).
+  /// gen_cli uses this to checkpoint the sink and append to the journal.
+  std::function<void(const Chunk& chunk, ScopeSink* sink)> on_chunk_commit;
 };
 
 /// What the engine measured about one run.
 struct SchedulerStats {
   std::uint64_t num_chunks = 0;  ///< chunks executed (all workers)
   std::uint64_t num_steals = 0;  ///< chunks executed off their owner's deque
+  std::uint64_t num_recovered = 0;  ///< chunks re-run on a surviving machine
+                                    ///  after their owner machine crashed
   /// max/mean per-worker CPU seconds — 1.0 is a perfectly balanced run; the
   /// static driver's gap between max worker CPU and mean shows up here.
   double imbalance = 1.0;

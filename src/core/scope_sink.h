@@ -2,8 +2,10 @@
 #define TRILLIONG_CORE_SCOPE_SINK_H_
 
 #include <cstddef>
+#include <string>
 
 #include "util/common.h"
+#include "util/status.h"
 
 namespace tg::core {
 
@@ -26,6 +28,31 @@ class ScopeSink {
 
   /// Flushes buffered output. Called exactly once, after the last scope.
   virtual void Finish() {}
+};
+
+/// A sink whose output can be checkpointed durably and continued by a later
+/// process — the sink half of the chunk-commit protocol behind
+/// `gen_cli --resume` (see fault/journal.h and docs/FAULT_TOLERANCE.md).
+///
+/// CommitState() pushes everything consumed so far into the kernel (so it
+/// survives a process kill) and returns an opaque, whitespace-free token
+/// describing the durable position; the journal stores one token per
+/// committed chunk. A new process reconstructs the sink by passing the last
+/// journaled token to the format writer's resume constructor (see
+/// format/*), which truncates whatever was written past that point — torn
+/// buffers, uncommitted chunks — and continues appending.
+class ResumableSink : public ScopeSink {
+ public:
+  /// Makes all consumed scopes durable and renders the state token.
+  /// Returns non-ok (and leaves *token untouched) if the underlying file is
+  /// already in error.
+  virtual Status CommitState(std::string* token) = 0;
+};
+
+/// Tag argument selecting a format writer's resume constructor: `state` is
+/// the token returned by CommitState() in the interrupted process.
+struct ResumeFrom {
+  std::string state;
 };
 
 /// Sink that discards edges but counts them — used by benches that measure

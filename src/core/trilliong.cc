@@ -7,6 +7,7 @@
 #include "core/avs_generator.h"
 #include "core/partitioner.h"
 #include "core/scheduler.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/stopwatch.h"
@@ -53,7 +54,14 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   std::vector<AvsWorkerStats> worker_stats(config.num_workers);
   std::vector<double> worker_cpu(config.num_workers, 0.0);
 
-  if (config.num_workers == 1) {
+  // Fault injection, resume, and the commit journal all live in the
+  // scheduler's chunk protocol, so any of them forces the scheduler path
+  // even for a single worker.
+  const bool needs_scheduler =
+      (config.fault_injector != nullptr && config.fault_injector->armed()) ||
+      config.chunk_commit_hook != nullptr || !config.resume_next_seq.empty();
+
+  if (config.num_workers == 1 && !needs_scheduler) {
     // Single worker: no scheduling to do — run directly on the calling
     // thread (GenerateToSink relies on this) with the same per-worker
     // scratch reuse the scheduler path gets.
@@ -98,11 +106,16 @@ GenerateStats RunTyped(const TrillionGConfig& config,
       };
     };
 
+    SchedulerOptions sched_options;
+    sched_options.fault_injector = config.fault_injector;
+    sched_options.resume_next_seq = config.resume_next_seq;
+    sched_options.on_chunk_commit = config.chunk_commit_hook;
     const SchedulerStats sched =
-        RunWorkStealing(queues, sink_ptrs, make_worker, SchedulerOptions{});
+        RunWorkStealing(queues, sink_ptrs, make_worker, sched_options);
     worker_cpu = sched.worker_cpu_seconds;
     stats.sched_chunks = sched.num_chunks;
     stats.sched_steals = sched.num_steals;
+    stats.sched_recovered = sched.num_recovered;
     stats.sched_imbalance = sched.imbalance;
   }
 
@@ -134,6 +147,17 @@ GenerateStats RunTyped(const TrillionGConfig& config,
 
 GenerateStats Generate(const TrillionGConfig& config,
                        const SinkFactory& sink_factory) {
+  // The TG_FAULT_PLAN chaos hook: a run that did not wire an injector of its
+  // own still honors the environment plan (machine = worker index for the
+  // in-process driver). Keeps existing tests/benches usable as chaos tests.
+  if (config.fault_injector == nullptr) {
+    if (std::unique_ptr<fault::FaultInjector> env_injector =
+            fault::FaultInjector::FromEnvOrNull(config.num_workers)) {
+      TrillionGConfig armed = config;
+      armed.fault_injector = env_injector.get();
+      return Generate(armed, sink_factory);
+    }
+  }
   if (config.precision == Precision::kDoubleDouble) {
     return RunTyped<numeric::DoubleDouble>(config, sink_factory);
   }

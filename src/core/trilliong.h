@@ -3,8 +3,10 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/edge_determiner.h"
+#include "core/scheduler.h"
 #include "core/scope_sink.h"
 #include "model/seed_matrix.h"
 #include "util/memory_budget.h"
@@ -52,6 +54,22 @@ struct TrillionGConfig {
   /// Optional per-machine memory cap; OomError propagates to the caller.
   MemoryBudget* budget = nullptr;
 
+  /// Optional fault injector (not owned) consulted at every chunk boundary;
+  /// see src/fault/. Setting it forces the work-stealing scheduler path even
+  /// for num_workers == 1, because recovery and resume live there. When left
+  /// null, Generate() arms one from TG_FAULT_PLAN if that variable is set —
+  /// the chaos CI hook, mirroring TG_CHUNKS_PER_WORKER.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Resume support: per worker range, the next chunk seq still to commit
+  /// (all earlier chunks were journaled as durable by an interrupted
+  /// process). Empty for a fresh run; non-empty forces the scheduler path.
+  std::vector<std::uint32_t> resume_next_seq;
+  /// Called under the range commit lock after each chunk's scopes reach the
+  /// sink (SchedulerOptions::on_chunk_commit). gen_cli checkpoints writers
+  /// and appends to the chunk-commit journal here. Non-null forces the
+  /// scheduler path.
+  std::function<void(const Chunk&, ScopeSink*)> chunk_commit_hook;
+
   std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
   std::uint64_t NumEdges() const {
     if (num_edges != 0) return num_edges;
@@ -87,6 +105,8 @@ struct GenerateStats {
   /// single-range path ran, i.e. num_workers == 1 or chunks_per_worker == 1).
   std::uint64_t sched_chunks = 0;
   std::uint64_t sched_steals = 0;
+  /// Chunks re-executed on surviving machines after an injected crash.
+  std::uint64_t sched_recovered = 0;
   /// max/mean per-worker CPU seconds; 1.0 is perfectly balanced.
   double sched_imbalance = 1.0;
 };

@@ -1,0 +1,208 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tg::fault {
+namespace {
+
+// Splits `text` on `sep`, trimming surrounding whitespace from each piece.
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream in(text);
+  while (std::getline(in, piece, sep)) {
+    std::size_t b = piece.find_first_not_of(" \t");
+    std::size_t e = piece.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? std::string()
+                                         : piece.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status BadClause(const std::string& clause, const std::string& why) {
+  return Status::InvalidArgument("fault plan clause '" + clause + "': " + why);
+}
+
+// Parses the action part of a clause ("crash@chunk=120", "slow@2x", ...).
+Status ParseAction(const std::string& clause, const std::string& action,
+                   FaultRule* rule) {
+  std::size_t at = action.find('@');
+  if (at == std::string::npos) {
+    return BadClause(clause, "expected '<action>@<trigger>'");
+  }
+  std::string verb = action.substr(0, at);
+  std::string trigger = action.substr(at + 1);
+
+  if (verb == "slow") {
+    // slow@<F>x — no trigger; the factor applies to every chunk.
+    if (trigger.empty() || trigger.back() != 'x') {
+      return BadClause(clause, "slow wants 'slow@<factor>x'");
+    }
+    double factor = 0.0;
+    if (!ParseF64(trigger.substr(0, trigger.size() - 1), &factor) ||
+        factor < 1.0) {
+      return BadClause(clause, "slow factor must be a number >= 1");
+    }
+    rule->action = FaultAction::kSlow;
+    rule->slow_factor = factor;
+    return Status::Ok();
+  }
+
+  if (verb == "crash") {
+    rule->action = FaultAction::kCrash;
+  } else if (verb == "die") {
+    rule->action = FaultAction::kDie;
+  } else if (verb == "flaky") {
+    rule->action = FaultAction::kFlaky;
+  } else if (verb == "iofail") {
+    rule->action = FaultAction::kIoFail;
+  } else {
+    return BadClause(clause, "unknown action '" + verb + "'");
+  }
+
+  std::size_t eq = trigger.find('=');
+  if (eq == std::string::npos) {
+    return BadClause(clause, "expected '<trigger>=<value>'");
+  }
+  std::string key = trigger.substr(0, eq);
+  std::string value = trigger.substr(eq + 1);
+
+  if (key == "chunk") {
+    std::uint64_t n = 0;
+    if (!ParseU64(value, &n) || n == 0) {
+      return BadClause(clause, "chunk ordinal must be a positive integer");
+    }
+    rule->at_chunk = n;
+    return Status::Ok();
+  }
+  if (key == "shuffle") {
+    if (rule->action != FaultAction::kCrash) {
+      return BadClause(clause, "only crash supports a shuffle trigger");
+    }
+    std::uint64_t n = 0;
+    if (!ParseU64(value, &n) || n == 0) {
+      return BadClause(clause, "shuffle ordinal must be a positive integer");
+    }
+    rule->at_shuffle = n;
+    return Status::Ok();
+  }
+  if (key == "p") {
+    if (rule->action == FaultAction::kDie) {
+      return BadClause(clause, "die wants a deterministic 'chunk=' trigger");
+    }
+    double p = 0.0;
+    if (!ParseF64(value, &p) || p <= 0.0 || p > 1.0) {
+      return BadClause(clause, "probability must be in (0, 1]");
+    }
+    rule->probability = p;
+    return Status::Ok();
+  }
+  return BadClause(clause, "unknown trigger '" + key + "'");
+}
+
+}  // namespace
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kDie: return "die";
+    case FaultAction::kSlow: return "slow";
+    case FaultAction::kFlaky: return "flaky";
+    case FaultAction::kIoFail: return "iofail";
+  }
+  return "?";
+}
+
+std::string FaultRule::ToString() const {
+  std::ostringstream out;
+  if (machine < 0) {
+    out << "*";
+  } else {
+    out << "m" << machine;
+  }
+  out << ":" << FaultActionName(action);
+  if (action == FaultAction::kSlow) {
+    out << "@" << slow_factor << "x";
+  } else if (at_chunk > 0) {
+    out << "@chunk=" << at_chunk;
+  } else if (at_shuffle > 0) {
+    out << "@shuffle=" << at_shuffle;
+  } else {
+    out << "@p=" << probability;
+  }
+  return out.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (const FaultRule& rule : rules) out << "," << rule.ToString();
+  return out.str();
+}
+
+Status FaultPlan::Parse(const std::string& text, FaultPlan* out) {
+  FaultPlan plan;
+  for (const std::string& clause : Split(text, ',')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      if (!ParseU64(clause.substr(5), &plan.seed)) {
+        return BadClause(clause, "seed must be an unsigned integer");
+      }
+      continue;
+    }
+    std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return BadClause(clause, "expected '<target>:<action>'");
+    }
+    FaultRule rule;
+    std::string target = clause.substr(0, colon);
+    if (target == "*") {
+      rule.machine = -1;
+    } else if (target.size() >= 2 && target[0] == 'm') {
+      std::uint64_t m = 0;
+      if (!ParseU64(target.substr(1), &m) || m > 1 << 20) {
+        return BadClause(clause, "bad machine id '" + target + "'");
+      }
+      rule.machine = static_cast<int>(m);
+    } else {
+      return BadClause(clause, "target must be 'mN' or '*'");
+    }
+    Status s = ParseAction(clause, clause.substr(colon + 1), &rule);
+    if (!s.ok()) return s;
+    plan.rules.push_back(rule);
+  }
+  *out = std::move(plan);
+  return Status::Ok();
+}
+
+Status FaultPlan::FromEnv(FaultPlan* out) {
+  const char* env = std::getenv("TG_FAULT_PLAN");
+  if (env == nullptr || *env == '\0') {
+    *out = FaultPlan{};
+    out->rules.clear();
+    return Status::Ok();
+  }
+  return Parse(env, out);
+}
+
+}  // namespace tg::fault

@@ -1,0 +1,174 @@
+#include "fault/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace tg::fault {
+
+namespace {
+
+constexpr char kHeaderTag[] = "TGJOURNAL";
+constexpr int kJournalVersion = 1;
+
+}  // namespace
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Journal::Start(const std::string& path, std::uint64_t fingerprint,
+                      std::unique_ptr<Journal>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create journal: " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fprintf(f, "%s %d %016" PRIx64 "\n", kHeaderTag, kJournalVersion,
+                   fingerprint) < 0 ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot write journal header: " + path);
+  }
+  out->reset(new Journal(f));
+  return Status::Ok();
+}
+
+Status Journal::Reopen(const std::string& path,
+                       std::unique_ptr<Journal>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen journal: " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Drop a torn final record (the previous process died mid-append) before
+  // appending: a new record glued onto the torn bytes could otherwise
+  // complete them into a valid-looking line that was never acknowledged.
+  std::string data;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const std::size_t last_newline = data.rfind('\n');
+  if (last_newline == std::string::npos) {
+    std::fclose(f);
+    return Status::Corruption("journal has no complete records: " + path);
+  }
+  const auto end = static_cast<off_t>(last_newline + 1);
+  if (::ftruncate(fileno(f), end) != 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot truncate journal: " + path);
+  }
+  out->reset(new Journal(f));
+  return Status::Ok();
+}
+
+Status Journal::AppendCommit(int range, std::uint32_t seq,
+                             const std::string& state_token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fprintf(file_, "c %d %u %s\n", range, seq, state_token.c_str()) <
+          0 ||
+      std::fflush(file_) != 0) {
+    return Status::IoError("journal append failed");
+  }
+  return Status::Ok();
+}
+
+Status Journal::AppendDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fprintf(file_, "done\n") < 0 || std::fflush(file_) != 0) {
+    return Status::IoError("journal append failed");
+  }
+  return Status::Ok();
+}
+
+Status LoadJournal(const std::string& path, JournalState* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no journal at " + path);
+  *out = JournalState{};
+
+  // Read the whole file; journals are tiny (one short line per chunk).
+  std::string data;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < data.size()) {
+    const std::size_t eol = data.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn final record: never acked
+    const std::string line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (first) {
+      first = false;
+      char tag[16];
+      int version = 0;
+      std::uint64_t fp = 0;
+      if (std::sscanf(line.c_str(), "%15s %d %" SCNx64, tag, &version, &fp) !=
+              3 ||
+          std::strcmp(tag, kHeaderTag) != 0 || version != kJournalVersion) {
+        return Status::Corruption("bad journal header: " + path);
+      }
+      out->fingerprint = fp;
+      continue;
+    }
+    if (line == "done") {
+      out->done = true;
+      continue;
+    }
+    int range = 0;
+    unsigned seq = 0;
+    char token[256];
+    if (std::sscanf(line.c_str(), "c %d %u %255s", &range, &seq, token) == 3 &&
+        range >= 0) {
+      // Commits arrive in seq order per range, so the last record wins.
+      JournalState::RangeState& rs = out->ranges[range];
+      rs.next_seq = seq + 1;
+      rs.sink_state = token;
+    }
+    // Any other malformed line is a torn or foreign record — skip it.
+  }
+  if (first) return Status::Corruption("empty journal: " + path);
+  return Status::Ok();
+}
+
+std::uint64_t ConfigFingerprint(const core::TrillionGConfig& config,
+                                const std::string& format) {
+  auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = 0x7161FA0105EEDULL;
+  auto mix = [&h](std::uint64_t v) { h = rng::MixSeeds(h, v); };
+  mix(static_cast<std::uint64_t>(config.scale));
+  mix(config.edge_factor);
+  mix(config.num_edges);
+  mix(bits(config.noise));
+  mix(config.rng_seed);
+  mix(bits(config.seed.a()));
+  mix(bits(config.seed.b()));
+  mix(bits(config.seed.c()));
+  mix(bits(config.seed.d()));
+  // The worker count and chunk granularity shape the per-range files and
+  // chunk seq numbering, so a resume must match them exactly.
+  mix(static_cast<std::uint64_t>(config.num_workers));
+  mix(static_cast<std::uint64_t>(config.chunks_per_worker));
+  mix(static_cast<std::uint64_t>(config.precision));
+  mix(static_cast<std::uint64_t>(config.direction));
+  mix(static_cast<std::uint64_t>(config.exclude_self_loops));
+  mix(static_cast<std::uint64_t>(config.determiner.reuse_rec_vec));
+  mix(static_cast<std::uint64_t>(config.determiner.reduce_recursions));
+  mix(static_cast<std::uint64_t>(config.determiner.reuse_random_value));
+  for (char ch : format) mix(static_cast<std::uint64_t>(ch));
+  mix(static_cast<std::uint64_t>(format.size()));
+  return h;
+}
+
+}  // namespace tg::fault

@@ -1,0 +1,95 @@
+// fault/journal.h — the chunk-commit journal behind `gen_cli --resume`.
+//
+// One journal file (`<out>.journal`) records, per output range, which chunks
+// have been made durable, in commit order. It is a plain text log:
+//
+//   TGJOURNAL 1 <config fingerprint, hex>
+//   c <range> <seq> <sink state token>
+//   ...
+//   done
+//
+// Every `c` record is appended and flushed to the kernel immediately after
+// the corresponding chunk's bytes were flushed (ResumableSink::CommitState),
+// so after a process kill the journal never claims more than the output
+// files actually hold. Because the scheduler commits chunks of a range
+// strictly in seq order, the LAST `c` record of each range carries both the
+// resume point (seq + 1) and the sink state to restore. A torn final line
+// (no trailing newline — the process died mid-append) is ignored on load.
+// `done` marks the whole run complete; resuming a done journal is a no-op.
+//
+// The fingerprint hashes every generation parameter that affects output
+// bytes; a resume with a different config refuses to run rather than
+// silently splicing two different graphs into one file.
+#ifndef TRILLIONG_FAULT_JOURNAL_H_
+#define TRILLIONG_FAULT_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/trilliong.h"
+#include "util/status.h"
+
+namespace tg::fault {
+
+/// Append side of the journal. Thread-safe: chunk commits of different
+/// ranges land from different worker threads.
+class Journal {
+ public:
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Starts a fresh journal at `path`, truncating any previous one, and
+  /// writes the header.
+  static Status Start(const std::string& path, std::uint64_t fingerprint,
+                      std::unique_ptr<Journal>* out);
+
+  /// Reopens an existing journal for appending (after Load, on resume).
+  static Status Reopen(const std::string& path,
+                       std::unique_ptr<Journal>* out);
+
+  /// Appends one durable-chunk record and flushes it to the kernel.
+  /// `state_token` must be whitespace-free (CommitState tokens are).
+  Status AppendCommit(int range, std::uint32_t seq,
+                      const std::string& state_token);
+
+  /// Marks the run complete.
+  Status AppendDone();
+
+ private:
+  explicit Journal(std::FILE* file) : file_(file) {}
+
+  std::mutex mu_;
+  std::FILE* file_;
+};
+
+/// What a journal said when loaded.
+struct JournalState {
+  std::uint64_t fingerprint = 0;
+  bool done = false;
+  /// Per range: next chunk seq to generate and the sink state token of the
+  /// last committed chunk. Ranges that never committed are absent.
+  struct RangeState {
+    std::uint32_t next_seq = 0;
+    std::string sink_state;
+  };
+  std::map<int, RangeState> ranges;
+};
+
+/// Parses a journal. Returns NotFound when the file does not exist,
+/// Corruption on a bad header; malformed or torn trailing records are
+/// dropped silently (they were never acknowledged).
+Status LoadJournal(const std::string& path, JournalState* out);
+
+/// Hash of every config parameter that shapes output bytes (plus the output
+/// format name). Two runs with equal fingerprints write identical files.
+std::uint64_t ConfigFingerprint(const core::TrillionGConfig& config,
+                                const std::string& format);
+
+}  // namespace tg::fault
+
+#endif  // TRILLIONG_FAULT_JOURNAL_H_

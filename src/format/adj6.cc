@@ -1,14 +1,32 @@
 #include "format/adj6.h"
 
+#include "format/resume_token.h"
 #include "obs/metrics.h"
 
 namespace tg::format {
 
 Adj6Writer::Adj6Writer(const std::string& path) { writer_.Open(path); }
 
+Adj6Writer::Adj6Writer(const std::string& path,
+                       const core::ResumeFrom& resume) {
+  std::uint64_t bytes = 0;
+  if (!TokenField(resume.state, "bytes", &bytes)) {
+    writer_.OpenForResume("", 0);  // sticky error: malformed token
+    return;
+  }
+  writer_.OpenForResume(path, bytes);
+}
+
+Status Adj6Writer::CommitState(std::string* token) {
+  Status s = writer_.FlushToOs();
+  if (!s.ok()) return s;
+  *token = "bytes=" + std::to_string(writer_.bytes_written());
+  return s;
+}
+
 void Adj6Writer::ConsumeScope(VertexId u, const VertexId* adj,
                               std::size_t n) {
-  if (n == 0) return;
+  if (n == 0 || !writer_.status().ok()) return;
   writer_.Append48(u);
   writer_.Append48(n);
   for (std::size_t i = 0; i < n; ++i) writer_.Append48(adj[i]);

@@ -18,12 +18,21 @@ namespace tg::format {
 /// in little-endian byte order. Vertices with degree 0 are omitted. File
 /// sizes are typically 3-4x smaller than TSV, and writing is a straight
 /// memcpy of what the AVS generator already produces per scope.
-class Adj6Writer : public core::ScopeSink {
+class Adj6Writer : public core::ResumableSink {
  public:
   explicit Adj6Writer(const std::string& path);
 
+  /// Resume constructor: truncates `path` to the byte position recorded in
+  /// `resume.state` (a token from CommitState) and continues appending.
+  Adj6Writer(const std::string& path, const core::ResumeFrom& resume);
+
   void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override;
   void Finish() override;
+
+  /// Durable checkpoint; token is "bytes=<flushed byte count>". ADJ6 is a
+  /// pure record stream, so a byte offset at a record boundary is the whole
+  /// resume state.
+  Status CommitState(std::string* token) override;
 
   const Status& status() const { return writer_.status(); }
   std::uint64_t bytes_written() const { return writer_.bytes_written(); }

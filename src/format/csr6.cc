@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "format/resume_token.h"
 #include "obs/metrics.h"
 #include "storage/file_io.h"
 
 namespace tg::format {
 
+namespace {
+
+void EncodeU64(std::uint64_t value, unsigned char* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint64_t DecodeU64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
 Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi)
-    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo) {
+    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo), sidecar_next_(lo) {
   TG_CHECK(hi >= lo);
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
@@ -19,25 +36,156 @@ Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi)
   offsets_.assign(hi - lo + 1, 0);
   // Reserve the header + offsets region; it is rewritten in Finish() once
   // the offsets are known, so edges can stream sequentially after it.
-  std::vector<char> zeros(8 * 5 + offsets_.size() * 8, 0);
+  std::vector<char> zeros(HeaderBytes(), 0);
   if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
     status_ = Status::IoError("write failed: " + path);
   }
   bytes_written_ = zeros.size();
 }
 
+Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi,
+                       const core::ResumeFrom& resume)
+    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo), sidecar_next_(lo) {
+  TG_CHECK(hi >= lo);
+  resumable_ = true;
+  offsets_.assign(hi - lo + 1, 0);
+  std::uint64_t bytes = 0;
+  std::uint64_t next = 0;
+  std::uint64_t edges = 0;
+  if (!TokenField(resume.state, "bytes", &bytes) ||
+      !TokenField(resume.state, "next", &next) ||
+      !TokenField(resume.state, "edges", &edges)) {
+    status_ =
+        Status::InvalidArgument("malformed CSR6 resume token: " + resume.state);
+    return;
+  }
+  if (next < lo || next > hi || bytes != HeaderBytes() + 6 * edges) {
+    status_ = Status::Corruption(
+        "CSR6 resume token inconsistent with shard: " + resume.state);
+    return;
+  }
+  // Rebuild the committed degree prefix from the sidecar. Entries past the
+  // token's vertex — appended by a checkpoint whose journal record never
+  // landed — and a torn final entry are simply ignored: the token decides
+  // what is committed.
+  const std::string sidecar_path = SidecarPath(path);
+  std::FILE* side = std::fopen(sidecar_path.c_str(), "rb");
+  if (side == nullptr) {
+    status_ = Status::IoError("cannot open CSR6 sidecar: " + sidecar_path);
+    return;
+  }
+  std::uint64_t degree_sum = 0;
+  for (VertexId u = lo; u < next; ++u) {
+    unsigned char entry[8];
+    if (std::fread(entry, 1, 8, side) != 8) {
+      status_ = Status::Corruption("CSR6 sidecar shorter than resume token: " +
+                                   sidecar_path);
+      std::fclose(side);
+      return;
+    }
+    offsets_[u - lo + 1] = DecodeU64(entry);
+    degree_sum += offsets_[u - lo + 1];
+  }
+  std::fclose(side);
+  if (degree_sum != edges) {
+    status_ = Status::Corruption(
+        "CSR6 sidecar degrees do not sum to committed edges: " + sidecar_path);
+    return;
+  }
+  file_ = std::fopen(path.c_str(), "r+b");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for resume: " + path);
+    return;
+  }
+  if (::ftruncate(fileno(file_), static_cast<off_t>(bytes)) != 0 ||
+      std::fseek(file_, 0, SEEK_END) != 0) {
+    status_ = Status::IoError("cannot truncate for resume: " + path);
+    return;
+  }
+  // Trim uncommitted sidecar entries too, so this process appends from a
+  // clean record boundary.
+  sidecar_ = std::fopen(sidecar_path.c_str(), "r+b");
+  if (sidecar_ == nullptr ||
+      ::ftruncate(fileno(sidecar_),
+                  static_cast<off_t>((next - lo) * 8)) != 0 ||
+      std::fseek(sidecar_, 0, SEEK_END) != 0) {
+    status_ = Status::IoError("cannot truncate CSR6 sidecar: " + sidecar_path);
+    return;
+  }
+  next_vertex_ = next;
+  sidecar_next_ = next;
+  num_edges_ = edges;
+  bytes_written_ = bytes;
+}
+
 Csr6Writer::~Csr6Writer() {
-  if (!finished_) Finish();
+  if (!finished_) {
+    if (resumable_) {
+      // Interrupted mid-run: do NOT finalize — a partial shard with a valid
+      // header would masquerade as complete. Flush raw bytes (a resuming
+      // process truncates back to the last committed token) and close.
+      if (file_ != nullptr) {
+        FlushBuffer();
+        std::fclose(file_);
+        file_ = nullptr;
+      }
+    } else {
+      Finish();
+    }
+  }
+  if (sidecar_ != nullptr) {
+    std::fclose(sidecar_);
+    sidecar_ = nullptr;
+  }
 }
 
 void Csr6Writer::FlushBuffer() {
   if (buffer_.empty()) return;
-  if (status_.ok() &&
-      std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-          buffer_.size()) {
-    status_ = Status::IoError("write failed: " + path_);
+  if (status_.ok()) {
+    const storage::IoFailureHook& hook = storage::IoFailureHookRef();
+    if (hook && hook(path_)) {
+      status_ = Status::IoError("injected I/O failure: " + path_);
+    } else if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+               buffer_.size()) {
+      status_ = Status::IoError("write failed: " + path_);
+    }
   }
   buffer_.clear();
+}
+
+Status Csr6Writer::CommitState(std::string* token) {
+  resumable_ = true;
+  if (!status_.ok()) return status_;
+  FlushBuffer();
+  if (status_.ok() && std::fflush(file_) != 0) {
+    status_ = Status::IoError("flush failed: " + path_);
+  }
+  if (!status_.ok()) return status_;
+  const std::string sidecar_path = SidecarPath(path_);
+  if (sidecar_ == nullptr) {
+    sidecar_ = std::fopen(sidecar_path.c_str(), "wb");
+    if (sidecar_ == nullptr) {
+      status_ = Status::IoError("cannot open CSR6 sidecar: " + sidecar_path);
+      return status_;
+    }
+  }
+  for (VertexId u = sidecar_next_; u < next_vertex_; ++u) {
+    unsigned char entry[8];
+    EncodeU64(offsets_[u - lo_ + 1], entry);
+    if (std::fwrite(entry, 1, 8, sidecar_) != 8) {
+      status_ = Status::IoError("sidecar write failed: " + sidecar_path);
+      return status_;
+    }
+  }
+  if (std::fflush(sidecar_) != 0) {
+    status_ = Status::IoError("sidecar flush failed: " + sidecar_path);
+    return status_;
+  }
+  sidecar_next_ = next_vertex_;
+  *token = "bytes=" + std::to_string(bytes_written_) +
+           ",next=" + std::to_string(next_vertex_) +
+           ",edges=" + std::to_string(num_edges_);
+  return status_;
 }
 
 void Csr6Writer::Put48(std::uint64_t value) {
@@ -59,6 +207,7 @@ void Csr6Writer::Put64(std::uint64_t value) {
 
 void Csr6Writer::ConsumeScope(VertexId u, const VertexId* adj,
                               std::size_t n) {
+  if (!status_.ok()) return;  // dead disk: stop sorting and encoding too
   TG_CHECK_MSG(u >= next_vertex_ && u < hi_,
                "CSR6 scopes must arrive in increasing order within [lo, hi)");
   next_vertex_ = u + 1;

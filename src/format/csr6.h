@@ -22,13 +22,35 @@ namespace tg::format {
 ///
 /// Scopes must be fed in increasing vertex order (exactly what the AVS
 /// generator produces); adjacency lists are sorted by the writer.
-class Csr6Writer : public core::ScopeSink {
+class Csr6Writer : public core::ResumableSink {
  public:
   Csr6Writer(const std::string& path, VertexId lo, VertexId hi);
+
+  /// Resume constructor: restores the writer from a CommitState token
+  /// ("bytes=B,next=V,edges=E") plus the degree sidecar (SidecarPath) the
+  /// interrupted process kept, truncates the edge stream back to byte B,
+  /// and continues at vertex V. The sidecar is needed because the CSR
+  /// offset table is only materialized in Finish(): per-vertex degrees are
+  /// appended durably at every checkpoint so a new process can rebuild the
+  /// in-memory prefix.
+  Csr6Writer(const std::string& path, VertexId lo, VertexId hi,
+             const core::ResumeFrom& resume);
   ~Csr6Writer() override;
 
   void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override;
   void Finish() override;
+
+  /// Durable checkpoint: flushes edge bytes, appends the degrees of newly
+  /// consumed vertices to the sidecar, and renders the token. The sidecar
+  /// outlives Finish() — the caller (gen_cli) deletes it once the whole
+  /// run's journal records completion, so a crash between the last chunk
+  /// commit and Finish stays recoverable.
+  Status CommitState(std::string* token) override;
+
+  /// Path of the degree sidecar kept next to a resumable CSR6 file.
+  static std::string SidecarPath(const std::string& path) {
+    return path + ".offsets";
+  }
 
   const Status& status() const { return status_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
@@ -40,19 +62,23 @@ class Csr6Writer : public core::ScopeSink {
   void Put48(std::uint64_t value);
   void Put64(std::uint64_t value);
   void FlushBuffer();
+  std::uint64_t HeaderBytes() const { return 8 * 5 + offsets_.size() * 8; }
 
   std::vector<unsigned char> buffer_;
   std::FILE* file_ = nullptr;
+  std::FILE* sidecar_ = nullptr;
   std::string path_;
   Status status_;
   VertexId lo_;
   VertexId hi_;
   VertexId next_vertex_;
+  VertexId sidecar_next_;  ///< first vertex whose degree is not yet durable
   std::uint64_t num_edges_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::vector<std::uint64_t> offsets_;
   std::vector<VertexId> sorted_;
   bool finished_ = false;
+  bool resumable_ = false;  ///< CommitState was used (or resume constructor)
 };
 
 /// Loads a CSR6 shard fully into memory.

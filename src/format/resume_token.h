@@ -1,0 +1,41 @@
+// format/resume_token.h — parsing for the "key=value,key=value" tokens the
+// format writers return from core::ResumableSink::CommitState and accept in
+// their core::ResumeFrom constructors. Tokens are whitespace-free on purpose
+// so the chunk-commit journal can store them as single fields.
+#ifndef TRILLIONG_FORMAT_RESUME_TOKEN_H_
+#define TRILLIONG_FORMAT_RESUME_TOKEN_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace tg::format {
+
+/// Extracts the integer value of `key` from a "k1=v1,k2=v2" token. Returns
+/// false when the key is missing or its value is not a clean integer.
+inline bool TokenField(const std::string& token, const std::string& key,
+                       std::uint64_t* out) {
+  std::size_t pos = 0;
+  const std::string needle = key + "=";
+  while (pos < token.size()) {
+    std::size_t end = token.find(',', pos);
+    if (end == std::string::npos) end = token.size();
+    if (token.compare(pos, needle.size(), needle) == 0) {
+      const std::string value =
+          token.substr(pos + needle.size(), end - pos - needle.size());
+      if (value.empty()) return false;
+      char* parse_end = nullptr;
+      const unsigned long long v =
+          std::strtoull(value.c_str(), &parse_end, 10);
+      if (parse_end != value.c_str() + value.size()) return false;
+      *out = v;
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+}  // namespace tg::format
+
+#endif  // TRILLIONG_FORMAT_RESUME_TOKEN_H_

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstring>
 
+#include "format/resume_token.h"
 #include "obs/metrics.h"
 
 namespace tg::format {
@@ -28,7 +29,27 @@ TsvWriter::TsvWriter(const std::string& path, bool transposed)
   writer_.Open(path);
 }
 
+TsvWriter::TsvWriter(const std::string& path, bool transposed,
+                     const core::ResumeFrom& resume)
+    : transposed_(transposed) {
+  std::uint64_t bytes = 0;
+  if (!TokenField(resume.state, "bytes", &bytes)) {
+    // Force the writer into a sticky error state (nothing is open).
+    writer_.OpenForResume("", 0);
+    return;
+  }
+  writer_.OpenForResume(path, bytes);
+}
+
+Status TsvWriter::CommitState(std::string* token) {
+  Status s = writer_.FlushToOs();
+  if (!s.ok()) return s;
+  *token = "bytes=" + std::to_string(writer_.bytes_written());
+  return s;
+}
+
 void TsvWriter::WriteEdge(VertexId src, VertexId dst) {
+  if (!writer_.status().ok()) return;  // dead disk: stop formatting too
   char line[44];
   int n = FormatU64(src, line);
   line[n++] = '\t';
@@ -38,6 +59,7 @@ void TsvWriter::WriteEdge(VertexId src, VertexId dst) {
 }
 
 void TsvWriter::ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) {
+  if (!writer_.status().ok()) return;
   if (transposed_) {
     for (std::size_t i = 0; i < n; ++i) WriteEdge(adj[i], u);
   } else {

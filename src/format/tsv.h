@@ -13,14 +13,22 @@ namespace tg::format {
 
 /// Edge-list text writer: one "src\tdst\n" line per edge (the TSV format of
 /// Section 5 — verbose, universally supported, slow to parse).
-class TsvWriter : public core::ScopeSink {
+class TsvWriter : public core::ResumableSink {
  public:
   /// `transposed` swaps the emitted columns; used when the scopes come from
   /// an AVS-I run (scope vertex is the destination).
   explicit TsvWriter(const std::string& path, bool transposed = false);
 
+  /// Resume constructor: truncates `path` to the byte position recorded in
+  /// `resume.state` (a token from CommitState) and continues appending.
+  TsvWriter(const std::string& path, bool transposed,
+            const core::ResumeFrom& resume);
+
   void ConsumeScope(VertexId u, const VertexId* adj, std::size_t n) override;
   void Finish() override;
+
+  /// Durable checkpoint; token is "bytes=<flushed byte count>".
+  Status CommitState(std::string* token) override;
 
   /// Writes one explicit edge (for edge-at-a-time baselines).
   void WriteEdge(VertexId src, VertexId dst);

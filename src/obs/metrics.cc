@@ -156,6 +156,22 @@ std::map<int, std::map<std::string, double>> Registry::MachineStats() const {
   return machines_;
 }
 
+void Registry::RecordEvent(Event event) {
+  // The dropped counter is fetched before taking mu_ (GetCounter locks it).
+  Counter* dropped = GetCounter("obs.events_dropped");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped->Increment();
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> Registry::EventValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
 void Registry::Reset() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -164,6 +180,7 @@ void Registry::Reset() {
     for (auto& [name, hist] : histograms_) hist->Reset();
     spans_.clear();
     machines_.clear();
+    events_.clear();
   }
   // Only meaningful for the global registry, but harmless otherwise: a reset
   // starts a fresh run, which must not inherit a stale mem.oom section.
@@ -209,6 +226,20 @@ void PreregisterCanonicalMetrics() {
   // Live progress + tracing (obs/sampler.h, obs/trace.h).
   r.GetCounter("progress.edges");
   r.GetCounter("trace.dropped_events");
+  // Fault injection + recovery (fault/fault_injector.h, core/scheduler.cc,
+  // cluster/sim_cluster.h). Zero in a fault-free run by construction.
+  r.GetCounter("fault.injected");
+  r.GetCounter("fault.injected_crashes");
+  r.GetCounter("fault.injected_delays");
+  r.GetCounter("fault.injected_io_failures");
+  r.GetCounter("fault.retries");
+  r.GetCounter("fault.recovered_chunks");
+  r.GetCounter("fault.machines_lost");
+  r.GetCounter("fault.shuffle_retransfers");
+  r.GetCounter("fault.retransferred_bytes");
+  r.GetCounter("cluster.worker_failures");
+  r.GetGauge("fault.recovery_seconds");
+  r.GetGauge("fault.delay_seconds");
   // Install the memory-observability hooks (span stack / headroom tail on
   // OomReport, per-tag peak fold-in on budget destruction): any binary that
   // preregisters gets OOM attribution without extra wiring.

@@ -132,6 +132,17 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// One structured event: something that happened at a specific point in the
+/// run, as opposed to an aggregate. Used by tg::fault to record the injected
+/// schedule (every crash/delay/retry with its machine and boundary ordinal)
+/// so a RunReport proves *which* faults a run survived, not just how many.
+struct Event {
+  std::string kind;          ///< dotted name, e.g. "fault.crash"
+  int machine = -1;          ///< simulated machine, -1 when not applicable
+  std::uint64_t ordinal = 0; ///< per-machine boundary ordinal (1-based)
+  std::string detail;        ///< free-form, e.g. the rule that fired
+};
+
 /// Aggregated statistics of one trace-span path (see obs/span.h).
 struct SpanStats {
   std::uint64_t count = 0;
@@ -161,6 +172,12 @@ class Registry {
   void SetMachineStat(int machine, const std::string& key, double value);
   void MaxMachineStat(int machine, const std::string& key, double value);
 
+  /// Appends one structured event (capped at kMaxEvents to bound report
+  /// size under pathological chaos plans; overflow is counted in the
+  /// "obs.events_dropped" counter).
+  void RecordEvent(Event event);
+  static constexpr std::size_t kMaxEvents = 1024;
+
   // --- Report-time snapshots. ---
   std::map<std::string, std::uint64_t> CounterValues() const;
   std::map<std::string, double> GaugeValues() const;
@@ -168,6 +185,7 @@ class Registry {
   /// Keyed by (span path, machine tag).
   std::map<std::pair<std::string, int>, SpanStats> SpanValues() const;
   std::map<int, std::map<std::string, double>> MachineStats() const;
+  std::vector<Event> EventValues() const;
 
   /// Zeroes every counter/gauge/histogram in place (previously returned
   /// pointers remain valid) and clears span and machine tables. Used by
@@ -181,6 +199,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::pair<std::string, int>, SpanStats> spans_;
   std::map<int, std::map<std::string, double>> machines_;
+  std::vector<Event> events_;
 };
 
 /// Shorthands against the global registry (the form the hot layers use).

@@ -374,6 +374,11 @@ RunReport RunReport::Collect(const Registry& registry) {
         {key.first, key.second, stats.count, stats.wall_seconds,
          stats.cpu_seconds});
   }
+  for (Event& event : registry.EventValues()) {
+    if (event.kind.rfind("fault.", 0) == 0) {
+      report.fault.push_back(std::move(event));
+    }
+  }
   return report;
 }
 
@@ -467,6 +472,26 @@ std::string RunReport::ToJson() const {
   if (oom.has_value()) {
     out += ",\n  \"mem.oom\": ";
     AppendOomReport(*oom, "  ", &out);
+  }
+  if (!fault.empty()) {
+    out += ",\n  \"fault\": [";
+    first = true;
+    for (const Event& event : fault) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"kind\": ";
+      AppendEscaped(event.kind, &out);
+      out += ", \"machine\": ";
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%d", event.machine);
+      out += buf;
+      out += ", \"ordinal\": ";
+      AppendU64(event.ordinal, &out);
+      out += ", \"detail\": ";
+      AppendEscaped(event.detail, &out);
+      out += "}";
+    }
+    out += "\n  ]";
   }
   out += ",\n  \"series\": {";
   first = true;
@@ -582,6 +607,24 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
       OomReport report;
       ParseOomReport(cur, &report);
       out->oom = std::move(report);
+    } else if (section == "fault") {
+      cur.ParseArray([&] {
+        Event event;
+        cur.ParseObject([&](const std::string& field) {
+          if (field == "kind") {
+            cur.ParseString(&event.kind);
+          } else if (field == "machine") {
+            event.machine = static_cast<int>(cur.ParseDouble());
+          } else if (field == "ordinal") {
+            event.ordinal = cur.ParseU64();
+          } else if (field == "detail") {
+            cur.ParseString(&event.detail);
+          } else {
+            cur.SkipValue();
+          }
+        });
+        out->fault.push_back(std::move(event));
+      });
     } else {
       cur.SkipValue();
     }
@@ -658,6 +701,15 @@ std::string RunReport::ToTable() const {
         std::snprintf(buf, sizeof(buf), " %s=%.6g", key.c_str(), value);
         out << buf;
       }
+      out << "\n";
+    }
+  }
+  if (!fault.empty()) {
+    out << "-- fault (injected schedule) --\n";
+    for (const Event& event : fault) {
+      out << "  " << event.kind << " [m" << event.machine << "] @"
+          << event.ordinal;
+      if (!event.detail.empty()) out << "  " << event.detail;
       out << "\n";
     }
   }

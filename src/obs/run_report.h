@@ -53,9 +53,15 @@ struct RunReport {
   /// "mem.oom" section; absent otherwise). Filled by Collect from the last
   /// OomError recorded via obs::RecordOom.
   std::optional<OomReport> oom;
+  /// The injected-fault schedule: every "fault.*" event the fault injector
+  /// recorded (crash/die/transient/iofail/shuffle_crash), in injection
+  /// order. Serialized as the "fault" section; empty (and omitted from the
+  /// JSON) on fault-free runs.
+  std::vector<Event> fault;
 
   /// Snapshots the registry. Counters/gauges/histograms/spans/machines are
-  /// filled (plus `oom` from obs::LastOom); `meta` is left for the caller.
+  /// filled (plus `oom` from obs::LastOom and `fault` from the registry's
+  /// "fault.*" events); `meta` is left for the caller.
   static RunReport Collect(const Registry& registry = Registry::Global());
 
   /// Stable, pretty-printed JSON (schema in docs/OBSERVABILITY.md).

@@ -5,8 +5,11 @@
 #ifndef TRILLIONG_STORAGE_FILE_IO_H_
 #define TRILLIONG_STORAGE_FILE_IO_H_
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,17 @@
 #include "util/status.h"
 
 namespace tg::storage {
+
+/// Process-wide write-failure hook, consulted on every raw write. Returns
+/// true to make the write fail with a sticky IoError — this is how
+/// fault::FaultInjector simulates a dying disk without touching the real
+/// filesystem. Installed before worker threads start and cleared after they
+/// join; the empty default costs one branch per flushed buffer.
+using IoFailureHook = std::function<bool(const std::string& path)>;
+inline IoFailureHook& IoFailureHookRef() {
+  static IoFailureHook hook;
+  return hook;
+}
 
 /// Buffered sequential file writer. Errors are sticky: the first failure is
 /// recorded and reported from Close()/status(); subsequent writes are
@@ -42,8 +56,34 @@ class FileWriter {
     return status_;
   }
 
+  /// Reopens an existing file for resumed writing: truncates it to `offset`
+  /// (discarding any bytes past the last durable commit) and continues
+  /// appending from there. bytes_written() resumes at `offset`.
+  Status OpenForResume(const std::string& path, std::uint64_t offset) {
+    Close();
+    file_ = std::fopen(path.c_str(), "r+b");
+    if (file_ == nullptr) {
+      status_ = Status::IoError("cannot open for resume: " + path);
+      return status_;
+    }
+    if (::ftruncate(fileno(file_), static_cast<off_t>(offset)) != 0 ||
+        std::fseek(file_, 0, SEEK_END) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      status_ = Status::IoError("cannot truncate for resume: " + path);
+      return status_;
+    }
+    path_ = path;
+    status_ = Status::Ok();
+    buffer_.reserve(buffer_bytes_);
+    buffer_.clear();
+    bytes_written_ = offset;
+    return status_;
+  }
+
   bool is_open() const { return file_ != nullptr; }
   const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
   std::uint64_t bytes_written() const { return bytes_written_ + buffer_.size(); }
 
   void Append(const void* data, std::size_t n) {
@@ -75,6 +115,19 @@ class FileWriter {
     Append(bytes, 8);
   }
 
+  /// Pushes all buffered bytes into the kernel (fwrite + fflush). After an
+  /// Ok return, the bytes survive a process kill (not an OS crash — that
+  /// would need fsync, which the simulated cluster does not model). This is
+  /// the durability point of the chunk-commit journal (fault/journal.h).
+  Status FlushToOs() {
+    if (file_ == nullptr) return status_;
+    Flush();
+    if (status_.ok() && std::fflush(file_) != 0) {
+      status_ = Status::IoError("flush failed: " + path_);
+    }
+    return status_;
+  }
+
   Status Close() {
     if (file_ != nullptr) {
       Flush();
@@ -96,6 +149,11 @@ class FileWriter {
 
   void WriteRaw(const char* p, std::size_t n) {
     if (!status_.ok()) return;
+    const IoFailureHook& hook = IoFailureHookRef();
+    if (hook && hook(path_)) {
+      status_ = Status::IoError("injected I/O failure: " + path_);
+      return;
+    }
     if (std::fwrite(p, 1, n, file_) != n) {
       status_ = Status::IoError("write failed: " + path_);
     } else {
