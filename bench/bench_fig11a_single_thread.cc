@@ -12,9 +12,11 @@
 #include "baseline/kronecker.h"
 #include "baseline/rmat.h"
 #include "bench_util.h"
+#include "core/scope_sink.h"
 #include "core/trilliong.h"
 #include "format/adj6.h"
 #include "storage/temp_dir.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -39,8 +41,8 @@ int main() {
 
   tg::storage::TempDir temp_dir("fig11a");
 
-  std::printf("\n%-8s %14s %14s %14s %16s\n", "scale", "RMAT-mem",
-              "RMAT-disk", "FastKronecker", "TrillionG/seq");
+  std::printf("\n%-8s %14s %14s %14s %16s %16s\n", "scale", "RMAT-mem",
+              "RMAT-disk", "FastKronecker", "TrillionG/seq", "TG gen-only");
   for (int scale = kMinScale; scale <= kMaxScale; ++scale) {
     const std::uint64_t num_edges = 16ULL << scale;
     std::printf("%-8d", scale);
@@ -94,6 +96,23 @@ int main() {
                     tg::core::GenerateToSink(config, &sink);
                     sink.Finish();
                   }).c_str());
+    }
+    {
+      // Pure generation cost (no output formatting): the table-kernel
+      // headline number, reported as edges/second so before/after runs are
+      // directly comparable (docs/PERFORMANCE.md records the history).
+      tg::MemoryBudget budget(kBudgetBytes);
+      tg::core::TrillionGConfig config;
+      config.scale = scale;
+      config.edge_factor = 16;
+      config.num_workers = 1;
+      config.budget = &budget;
+      tg::core::CountingSink sink;
+      tg::Stopwatch watch;
+      tg::core::GenerateStats stats = tg::core::GenerateToSink(config, &sink);
+      const double secs = watch.ElapsedSeconds();
+      std::printf(" %13.1f M/s",
+                  static_cast<double>(stats.num_edges) / secs / 1e6);
     }
     std::printf("\n");
     std::fflush(stdout);

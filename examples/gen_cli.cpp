@@ -26,6 +26,7 @@
 #include "obs/sampler.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "rng/lane_rng.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
         "[--format=tsv|adj6|csr6] [--workers=N] [--noise=X] [--seed=N]\n"
         "       [--precision=double|dd] [--direction=out|in]\n"
         "       [--chunks_per_worker=N]\n"
+        "       [--portable_kernel] [--no_prefix_tables]\n"
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
         "       [--metrics_json=PATH] [--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
@@ -108,7 +110,12 @@ int main(int argc, char** argv) {
         "--chunks_per_worker sets the work-stealing granularity (default "
         "16;\n1 = static one-range-per-worker schedule; output is "
         "bit-identical\nfor any value; TG_CHUNKS_PER_WORKER in the "
-        "environment overrides\nthe default).\n",
+        "environment overrides\nthe default).\n"
+        "--portable_kernel forces the scalar edge-kernel fills even in an\n"
+        "AVX2 build (output is bit-identical; TG_PORTABLE_KERNEL in the\n"
+        "environment does the same); --no_prefix_tables selects the legacy\n"
+        "per-edge descent kernel (different RNG stream — a different, still\n"
+        "deterministic graph; see docs/PERFORMANCE.md).\n",
         flags.program_name().c_str());
     return 0;
   }
@@ -130,6 +137,16 @@ int main(int argc, char** argv) {
   }
   const bool transposed = flags.GetString("direction", "out") == "in";
   if (transposed) config.direction = tg::core::Direction::kIn;
+  // Kernel knobs (docs/PERFORMANCE.md): --portable_kernel forces the
+  // scalar-unrolled lane fills at runtime (one binary proves SIMD-on and
+  // SIMD-off bit-identical); --no_prefix_tables falls back to the per-edge
+  // descent kernel.
+  if (flags.GetBool("portable_kernel",
+                    std::getenv("TG_PORTABLE_KERNEL") != nullptr)) {
+    tg::rng::SetLaneForcePortable(true);
+  }
+  config.determiner.use_prefix_tables =
+      !flags.GetBool("no_prefix_tables", false);
 
   const std::string format = flags.GetString("format", "adj6");
   const std::string out = flags.GetString("out", "");

@@ -1,6 +1,7 @@
 #include "baseline/graph500.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "baseline/rmat.h"
 #include "obs/metrics.h"
@@ -44,6 +45,12 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
                               &noise_rng);
   }();
 
+  // Shared read-only prefix tables (Sample is const); per-worker RNG
+  // streams are unchanged.
+  const std::optional<RmatPrefixTables> tables =
+      options.use_prefix_tables ? std::optional<RmatPrefixTables>(noise)
+                                : std::nullopt;
+
   Graph500Stats stats;
 
   // --- Phase 1: edge generation (each worker owns a contiguous slice of
@@ -62,7 +69,7 @@ Graph500Stats RunGraph500(cluster::SimCluster* cluster,
     std::uint64_t end = std::min(begin + per_worker, total_edges);
     std::uint64_t registered = 0;
     for (std::uint64_t i = begin; i < end; ++i) {
-      Edge e = RmatEdge(noise, &rng);
+      Edge e = tables ? tables->Sample(&rng) : RmatEdge(noise, &rng);
       e.src = ScrambleVertex(e.src, options.scale, scramble_key);
       e.dst = ScrambleVertex(e.dst, options.scale, scramble_key);
       // Route to the machine owning the source block; spread across that

@@ -1,11 +1,55 @@
 #include "baseline/rmat.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "storage/external_sorter.h"
 #include "util/flat_set64.h"
 
 namespace tg::baseline {
+
+RmatPrefixTables::RmatPrefixTables(const model::NoiseVector& noise) {
+  const int levels = noise.levels();
+  for (int l0 = 0; l0 < levels; l0 += kGroupLevels) {
+    const int m = std::min(kGroupLevels, levels - l0);
+    const int outcomes = 1 << (2 * m);
+    Group group;
+    group.levels = m;
+    group.u_bits.resize(outcomes);
+    group.v_bits.resize(outcomes);
+    std::vector<double> weights(outcomes);
+    for (int p = 0; p < outcomes; ++p) {
+      // Outcome encoding: two bits per level (row bit high), first level of
+      // the group in the most significant position — matching the MSB-first
+      // descent order of RmatEdge.
+      double w = 1.0;
+      std::uint8_t ub = 0, vb = 0;
+      for (int j = 0; j < m; ++j) {
+        const int cell = (p >> (2 * (m - 1 - j))) & 3;
+        const int row = cell >> 1;
+        const int col = cell & 1;
+        w *= noise.Entry(l0 + j, row, col);
+        ub = static_cast<std::uint8_t>((ub << 1) | row);
+        vb = static_cast<std::uint8_t>((vb << 1) | col);
+      }
+      weights[p] = w;
+      group.u_bits[p] = ub;
+      group.v_bits[p] = vb;
+    }
+    group.table = rng::PackedAliasTable(weights);
+    groups_.push_back(std::move(group));
+  }
+}
+
+Edge RmatPrefixTables::Sample(rng::Rng* rng) const {
+  VertexId u = 0, v = 0;
+  for (const Group& group : groups_) {
+    const std::uint32_t p = group.table.Sample(rng->NextUint64());
+    u = (u << group.levels) | group.u_bits[p];
+    v = (v << group.levels) | group.v_bits[p];
+  }
+  return Edge{u, v};
+}
 
 Edge RmatEdge(const model::NoiseVector& noise, rng::Rng* rng) {
   VertexId u = 0, v = 0;
@@ -69,8 +113,11 @@ WesStats RmatMem(const RmatOptions& options, const EdgeConsumer& consume) {
                              "baseline.rmat.edge_set");
   stats.peak_bytes = dedup_mem.bytes();
 
+  const std::optional<RmatPrefixTables> tables =
+      options.use_prefix_tables ? std::optional<RmatPrefixTables>(noise)
+                                : std::nullopt;
   while (dedup.size() < target) {
-    Edge e = RmatEdge(noise, &rng);
+    Edge e = tables ? tables->Sample(&rng) : RmatEdge(noise, &rng);
     ++stats.num_generated;
     if (dedup.Insert(PackEdge(e, options.scale))) {
       consume(e);
@@ -98,8 +145,11 @@ WesStats RmatDisk(const RmatDiskOptions& options, const EdgeConsumer& consume) {
        options.budget});
   stats.peak_bytes = sorter.buffer_bytes();
 
+  const std::optional<RmatPrefixTables> tables =
+      options.use_prefix_tables ? std::optional<RmatPrefixTables>(noise)
+                                : std::nullopt;
   for (std::uint64_t i = 0; i < raw_target; ++i) {
-    sorter.Add(RmatEdge(noise, &rng));
+    sorter.Add(tables ? tables->Sample(&rng) : RmatEdge(noise, &rng));
   }
   stats.num_generated = raw_target;
 

@@ -1,11 +1,14 @@
 #ifndef TRILLIONG_BASELINE_RMAT_H_
 #define TRILLIONG_BASELINE_RMAT_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "model/noise.h"
 #include "model/seed_matrix.h"
+#include "rng/alias_table.h"
 #include "rng/random.h"
 #include "util/common.h"
 #include "util/memory_budget.h"
@@ -21,6 +24,36 @@ using EdgeConsumer = std::function<void(const Edge&)>;
 /// NoiseVector, so the same kernel serves RMAT, SKG and NSKG (Graph500)
 /// generation.
 Edge RmatEdge(const model::NoiseVector& noise, rng::Rng* rng);
+
+/// Path-prefix probability tables for the R-MAT quadrant descent (the
+/// arXiv 1905.03525 trick, mirrored on the AVS side by
+/// core/prefix_tables.h): levels are grouped four at a time, the 4^m joint
+/// quadrant choices of a group form one PackedAliasTable, and each sampled
+/// outcome decodes into m source bits and m destination bits. One raw
+/// 64-bit draw per group — ceil(levels/4) draws per edge — instead of one
+/// deviate plus up to three compares per level. Per-level NSKG noise is
+/// baked into the group weights, so noisy seeds work unchanged. Build once
+/// per NoiseVector; Sample is const and thread-safe.
+class RmatPrefixTables {
+ public:
+  static constexpr int kGroupLevels = 4;
+
+  explicit RmatPrefixTables(const model::NoiseVector& noise);
+
+  /// Draws one edge; consumes exactly one NextUint64 per level group (a
+  /// different — still deterministic — stream than RmatEdge's NextDouble
+  /// descent).
+  Edge Sample(rng::Rng* rng) const;
+
+ private:
+  struct Group {
+    int levels;  ///< levels covered (1..kGroupLevels)
+    rng::PackedAliasTable table;
+    std::vector<std::uint8_t> u_bits;  ///< outcome -> source bit pattern
+    std::vector<std::uint8_t> v_bits;  ///< outcome -> destination pattern
+  };
+  std::vector<Group> groups_;
+};
 
 /// Statistics common to the WES baselines.
 struct WesStats {
@@ -39,6 +72,10 @@ struct RmatOptions {
   /// Per-machine memory cap (nullptr = unlimited). RMAT-mem registers its
   /// O(|E|) dedup set here, which is what reproduces the paper's O.O.M rows.
   MemoryBudget* budget = nullptr;
+  /// Draw edges through RmatPrefixTables (one table draw per 4 levels)
+  /// instead of the per-level descent. Same distribution, different RNG
+  /// stream; false restores the pre-table kernel for A/B comparisons.
+  bool use_prefix_tables = true;
 
   std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
   std::uint64_t NumEdges() const {

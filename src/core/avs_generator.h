@@ -1,17 +1,32 @@
+// core/avs_generator.h — the per-worker scope generator (Algorithm 4): for
+// every source vertex u in a range, sample the scope size |S(u, V)| by
+// Theorem 1, then rejection-sample that many distinct destinations. Two
+// kernels share the loop: the *table kernel* (the default hot path — prefix
+// tables from core/prefix_tables.h fed by the batched lane RNG from
+// rng/lane_rng.h, no RecVec build and no per-edge descent) and the *descent
+// kernel* (RecVec + Theorem 2 CDF translation), which serves the Figure 13
+// ablations and the DoubleDouble precision. Both draw each scope from its
+// own deterministic RNG stream, so output is identical for any worker count
+// and chunking; see docs/PERFORMANCE.md for the kernel design and the
+// determinism contract.
 #ifndef TRILLIONG_CORE_AVS_GENERATOR_H_
 #define TRILLIONG_CORE_AVS_GENERATOR_H_
 
 #include <algorithm>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "core/edge_determiner.h"
 #include "core/on_demand_cdf.h"
+#include "core/prefix_tables.h"
 #include "core/rec_vec.h"
 #include "core/scope_dedup.h"
 #include "core/scope_sink.h"
 #include "core/scope_size.h"
 #include "model/noise.h"
 #include "obs/metrics.h"
+#include "rng/lane_rng.h"
 #include "rng/random.h"
 #include "util/memory_budget.h"
 
@@ -27,6 +42,12 @@ struct AvsWorkerStats {
   /// CDF inversions attempted (Theorem 2 determinations, counting
   /// rejection-loop retries) — the per-edge work unit of Table 1.
   std::uint64_t cdf_evaluations = 0;
+  /// Scopes and edges produced by the table kernel (vs the descent kernel).
+  std::uint64_t table_scopes = 0;
+  std::uint64_t table_edges = 0;
+  /// Bitmap words the dense dedup wiped lazily (regression canary: must stay
+  /// proportional to inserted entries, not to |V| per dense scope).
+  std::uint64_t dedup_wiped_words = 0;
 
   void MergeFrom(const AvsWorkerStats& o) {
     num_edges += o.num_edges;
@@ -35,6 +56,9 @@ struct AvsWorkerStats {
     peak_scope_bytes = std::max(peak_scope_bytes, o.peak_scope_bytes);
     rec_vec_builds += o.rec_vec_builds;
     cdf_evaluations += o.cdf_evaluations;
+    table_scopes += o.table_scopes;
+    table_edges += o.table_edges;
+    dedup_wiped_words += o.dedup_wiped_words;
   }
 };
 
@@ -50,6 +74,14 @@ inline void RecordAvsStats(const AvsWorkerStats& merged) {
       ->Max(static_cast<double>(merged.max_degree));
   obs::GetGauge("mem.peak_scope_bytes")
       ->Max(static_cast<double>(merged.peak_scope_bytes));
+  // kernel.*: which edge kernel ran and at what lane width
+  // (docs/PERFORMANCE.md). simd_lanes is 1 on the portable path — compiled
+  // out, TG_NO_SIMD, or forced off at runtime.
+  obs::GetCounter("kernel.table_scopes")->Add(merged.table_scopes);
+  obs::GetCounter("kernel.table_edges")->Add(merged.table_edges);
+  obs::GetCounter("kernel.dedup_wiped_words")->Add(merged.dedup_wiped_words);
+  obs::GetGauge("kernel.simd_lanes")
+      ->Max(rng::LaneRng::SimdActive() ? rng::LaneRng::kLanes : 1);
 }
 
 /// The reusable per-worker working state of scope generation: the scope's
@@ -104,7 +136,22 @@ class AvsRangeGenerator {
         // ETA mid-run. `avs.edges_generated` itself stays an end-of-run
         // aggregate (RecordAvsStats), keeping both exact.
         live_edges_(obs::Enabled() ? obs::GetCounter("progress.edges")
-                                   : nullptr) {}
+                                   : nullptr) {
+    // The table kernel requires plain-double arithmetic and all three of
+    // Section 4.3's ideas: any ablation combination (Figure 13) and the
+    // DoubleDouble precision keep the descent kernel, whose cost model the
+    // ablations measure.
+    use_tables_ = kRealIsDouble && opts_.use_prefix_tables &&
+                  opts_.reuse_rec_vec && opts_.reduce_recursions &&
+                  opts_.reuse_random_value;
+    if (use_tables_) {
+      tables_.Build(*noise_);
+      // The tables are a per-generator (not per-scope) allocation, shared by
+      // all workers; charge them once for the generator's lifetime.
+      tables_mem_.emplace(budget_, tables_.MemoryBytes(),
+                          "core.prefix_tables");
+    }
+  }
 
   /// Runs Algorithm 4 over scopes [lo, hi). `root` is the graph-level RNG
   /// (forked per scope). Scopes are delivered to `sink` in increasing vertex
@@ -134,6 +181,12 @@ class AvsRangeGenerator {
   void GenerateScope(VertexId u, const rng::Rng& root,
                      ScopeScratch<Real>* scratch, AvsWorkerStats* stats,
                      ScopeSink* sink) const {
+    if constexpr (kRealIsDouble) {
+      if (use_tables_) {
+        GenerateScopeTables(u, root, scratch, stats, sink);
+        return;
+      }
+    }
     rng::Rng rng = root.Fork(u);
 
     RecVec<Real>& rv = scratch->rec_vec;
@@ -148,7 +201,9 @@ class AvsRangeGenerator {
 
     ScopeDedup& dedup = scratch->dedup;
     std::vector<VertexId>& adj = scratch->adj;
+    const std::uint64_t wiped_before = dedup.wiped_words();
     dedup.Reset(degree, num_vertices_);
+    stats->dedup_wiped_words += dedup.wiped_words() - wiped_before;
     adj.clear();
     adj.reserve(degree);
 
@@ -237,7 +292,88 @@ class AvsRangeGenerator {
     sink->ConsumeScope(u, adj.data(), adj.size());
   }
 
+  /// True when GenerateScope routes through the table kernel (exposed for
+  /// tests/benches; depends on Real, the determiner options, and nothing
+  /// else — never on worker count or SIMD availability).
+  bool uses_table_kernel() const { return use_tables_; }
+
+  /// Read-only access to the prefix tables (empty unless the table kernel is
+  /// active). Used by the inversion-equivalence tests.
+  const AvsPrefixTables& prefix_tables() const { return tables_; }
+
  private:
+  static constexpr bool kRealIsDouble = std::is_same_v<Real, double>;
+
+  /// The table kernel (ROADMAP item 2): one LaneRng stream per scope, scope
+  /// size from the precomputed row-mass product (no RecVec build), and
+  /// destinations by prefix-table inversion of batched unit deviates (no
+  /// per-edge descent). The batches consume the scope's counter stream in
+  /// order, so SIMD-on and SIMD-off runs are bit-identical.
+  void GenerateScopeTables(VertexId u, const rng::Rng& root,
+                           ScopeScratch<Real>* scratch, AvsWorkerStats* stats,
+                           ScopeSink* sink) const {
+    // Same fork namespace as rng::Rng::Fork: deterministic per (root, u),
+    // independent of which worker or chunk runs the scope.
+    rng::LaneRng lane(rng::MixSeeds(root.StreamKey(), u + 1));
+    const AvsPrefixTables::ScopeView view = tables_.ViewFor(u);
+
+    const std::uint64_t degree =
+        SampleScopeSize(num_edges_, view.total, num_vertices_, &lane);
+    if (degree == 0) return;
+
+    ScopeDedup& dedup = scratch->dedup;
+    std::vector<VertexId>& adj = scratch->adj;
+    const std::uint64_t wiped_before = dedup.wiped_words();
+    dedup.Reset(degree, num_vertices_);
+    stats->dedup_wiped_words += dedup.wiped_words() - wiped_before;
+    adj.clear();
+    adj.reserve(degree);
+
+    ScopedAllocation scope_mem(
+        budget_, dedup.MemoryBytes() + degree * sizeof(VertexId), scope_tag_);
+    stats->peak_scope_bytes =
+        std::max(stats->peak_scope_bytes, scope_mem.bytes());
+
+    const std::uint64_t max_attempts = 100 * degree + 10000;
+    std::uint64_t attempts = 0;
+
+    auto accept = [&](VertexId v) {
+      if (exclude_self_loops_ && v == u) return;
+      if (dedup.Insert(v)) {
+        adj.push_back(v);
+        const std::uint64_t working =
+            dedup.MemoryBytes() + degree * sizeof(VertexId);
+        if (working > scope_mem.bytes()) {
+          scope_mem.ResizeTo(working);
+          stats->peak_scope_bytes =
+              std::max(stats->peak_scope_bytes, scope_mem.bytes());
+        }
+      }
+    };
+
+    double xs[kDrawBatch];
+    while (adj.size() < degree && attempts < max_attempts) {
+      std::uint64_t block = degree - adj.size();
+      if (block > kDrawBatch) block = kDrawBatch;
+      if (block > max_attempts - attempts) block = max_attempts - attempts;
+      lane.FillUnit(xs, block);
+      attempts += block;
+      stats->cdf_evaluations += block;
+      for (std::uint64_t i = 0; i < block; ++i) {
+        accept(tables_.Invert(view, xs[i]));
+      }
+    }
+
+    stats->num_edges += adj.size();
+    stats->num_scopes += 1;
+    stats->table_scopes += 1;
+    stats->table_edges += adj.size();
+    stats->max_degree = std::max<std::uint64_t>(stats->max_degree, adj.size());
+    if (degree_hist_ != nullptr) degree_hist_->Observe(adj.size());
+    if (live_edges_ != nullptr) live_edges_->Add(adj.size());
+    sink->ConsumeScope(u, adj.data(), adj.size());
+  }
+
   static double ToDouble(double v) { return v; }
   static double ToDouble(const numeric::DoubleDouble& v) {
     return v.ToDouble();
@@ -252,6 +388,9 @@ class AvsRangeGenerator {
   bool exclude_self_loops_;
   obs::Histogram* degree_hist_;
   obs::Counter* live_edges_;
+  bool use_tables_ = false;
+  AvsPrefixTables tables_;
+  std::optional<ScopedAllocation> tables_mem_;
 };
 
 }  // namespace tg::core

@@ -1,3 +1,9 @@
+// core/cdf_vector.h — the naive fully-materialized CDF vector of Section 4.2
+// (O(|V|) doubles per source vertex) with linear- and binary-search
+// inversion. Nothing on the hot path uses it: it exists as the measured
+// baseline for RecVec (Table 2) and as the ground-truth oracle the
+// prefix-table and determiner tests invert against. Keep it dumb and
+// obviously correct — its value is being trivially auditable.
 #ifndef TRILLIONG_CORE_CDF_VECTOR_H_
 #define TRILLIONG_CORE_CDF_VECTOR_H_
 

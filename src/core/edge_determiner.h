@@ -24,6 +24,13 @@ struct DeterminerOptions {
   /// translation (Theorem 2). When false a fresh uniform deviate is drawn at
   /// each recursion step (distributionally identical, see Lemma 4).
   bool reuse_random_value = true;
+  /// Table kernel: replace the per-edge descent with precomputed prefix-table
+  /// inversion (core/prefix_tables.h) fed by the lane RNG
+  /// (rng/lane_rng.h). Only takes effect when the three ideas above are all
+  /// on and RecVec arithmetic is double; the ablation combinations and the
+  /// DoubleDouble precision always use the descent kernel. Distributionally
+  /// identical, different RNG stream (docs/PERFORMANCE.md).
+  bool use_prefix_tables = true;
 };
 
 /// The determiners are generic over the CDF accessor `Cdf`, which must

@@ -1,3 +1,8 @@
+// core/on_demand_cdf.h — CDF accessor that recomputes F_u(2^x) from the seed
+// parameters on every access: the "Idea #1 off" subject of the Figure 13
+// ablation. Interface-compatible with RecVec<Real> so the edge determiners
+// are generic over which one backs them; never used by the default table
+// kernel (core/prefix_tables.h), which precomputes everything instead.
 #ifndef TRILLIONG_CORE_ON_DEMAND_CDF_H_
 #define TRILLIONG_CORE_ON_DEMAND_CDF_H_
 

@@ -26,7 +26,11 @@ namespace tg::core {
 ///
 /// Both backing stores persist across Reset calls (capacity is never
 /// released), so a per-worker instance reused for millions of scopes
-/// allocates only on high-water marks.
+/// allocates only on high-water marks. Clearing is lazy per mode: a sparse
+/// Reset never touches the bitmap, and a dense Reset wipes only the words
+/// the previous dense scope actually dirtied (a touched-word log) — O(d)
+/// per scope, never O(|V|/64). wiped_words() counts the wiped words
+/// cumulatively so tests can pin this down.
 class ScopeDedup {
  public:
   /// Entries per bitmap word: the density threshold is degree > universe/64,
@@ -39,7 +43,13 @@ class ScopeDedup {
     dense_ = universe != 0 && degree > universe / kDenseDivisor;
     if (dense_) {
       words_ = static_cast<std::size_t>((universe + 63) / 64);
-      bits_.assign(words_, 0);  // keeps capacity; wipes at most 8B/entry
+      // Fresh words come zeroed from the resize; previously dirtied words
+      // are wiped from the touched log — the only O(words_) cost is the
+      // one-time high-water-mark growth.
+      if (bits_.size() < words_) bits_.resize(words_, 0);
+      for (std::size_t w : dirty_) bits_[w] = 0;
+      wiped_words_ += dirty_.size();
+      dirty_.clear();
     } else {
       set_.Reset(static_cast<std::size_t>(degree));
     }
@@ -50,6 +60,10 @@ class ScopeDedup {
   bool Insert(VertexId v) {
     if (dense_) {
       std::uint64_t& word = bits_[static_cast<std::size_t>(v >> 6)];
+      // A zero word cannot be in the touched log (entries are logged on the
+      // 0 -> nonzero transition and stay nonzero until the next dense
+      // Reset wipes them), so this logs each word at most once.
+      if (word == 0) dirty_.push_back(static_cast<std::size_t>(v >> 6));
       const std::uint64_t mask = std::uint64_t{1} << (v & 63);
       if ((word & mask) != 0) return false;
       word |= mask;
@@ -66,6 +80,11 @@ class ScopeDedup {
   std::size_t size() const { return size_; }
   bool dense() const { return dense_; }
 
+  /// Cumulative count of bitmap words zeroed by dense Resets. With lazy
+  /// clearing this tracks inserted entries, not scopes * |V|/64; the
+  /// generator_test regression assertion relies on exactly that.
+  std::uint64_t wiped_words() const { return wiped_words_; }
+
   /// Bytes held by the active representation (the other one's retained
   /// capacity is idle scratch, charged once per worker, not per scope).
   std::size_t MemoryBytes() const {
@@ -75,8 +94,10 @@ class ScopeDedup {
  private:
   FlatSet64 set_;
   std::vector<std::uint64_t> bits_;
+  std::vector<std::size_t> dirty_;  ///< words dirtied since the last wipe
   std::size_t words_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t wiped_words_ = 0;
   bool dense_ = false;
 };
 

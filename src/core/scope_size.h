@@ -14,9 +14,13 @@ namespace tg::core {
 /// trials with per-trial probability p = P_{u->} is Binomial(n, p),
 /// approximated by Normal(np, np(1-p)). The result is rounded, clamped to
 /// [0, max_degree] (a scope cannot hold more distinct neighbors than |V|).
+///
+/// Generic over the generator so the legacy kernel (rng::Rng) and the table
+/// kernel (rng::LaneRng) share the identical formula; `RngT` must provide
+/// NextGaussian().
+template <typename RngT>
 inline std::uint64_t SampleScopeSize(std::uint64_t num_edges, double p,
-                                     std::uint64_t max_degree,
-                                     rng::Rng* rng) {
+                                     std::uint64_t max_degree, RngT* rng) {
   double n = static_cast<double>(num_edges);
   double mean = n * p;
   double stddev = std::sqrt(std::max(mean * (1.0 - p), 0.0));

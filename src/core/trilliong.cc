@@ -127,6 +127,8 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   stats.peak_scope_bytes = merged.peak_scope_bytes;
   stats.rec_vec_builds = merged.rec_vec_builds;
   stats.cdf_evaluations = merged.cdf_evaluations;
+  stats.table_scopes = merged.table_scopes;
+  stats.table_edges = merged.table_edges;
   stats.generate_seconds = watch.ElapsedSeconds();
   for (double cpu : worker_cpu) {
     stats.max_worker_cpu_seconds = std::max(stats.max_worker_cpu_seconds, cpu);

@@ -94,6 +94,11 @@ struct GenerateStats {
   std::uint64_t rec_vec_builds = 0;
   /// CDF inversions attempted, counting rejection-loop retries.
   std::uint64_t cdf_evaluations = 0;
+  /// Scopes/edges produced by the table kernel (core/prefix_tables.h);
+  /// zero when the descent kernel ran (ablations, DoubleDouble precision,
+  /// determiner.use_prefix_tables == false).
+  std::uint64_t table_scopes = 0;
+  std::uint64_t table_edges = 0;
   double partition_seconds = 0.0;
   /// Wall-clock of the generation phase on this host.
   double generate_seconds = 0.0;

@@ -166,6 +166,9 @@ std::uint64_t ConfigFingerprint(const core::TrillionGConfig& config,
   mix(static_cast<std::uint64_t>(config.determiner.reuse_rec_vec));
   mix(static_cast<std::uint64_t>(config.determiner.reduce_recursions));
   mix(static_cast<std::uint64_t>(config.determiner.reuse_random_value));
+  // The table kernel draws a different (still deterministic) RNG stream, so
+  // resuming across a toggle would splice two different graphs.
+  mix(static_cast<std::uint64_t>(config.determiner.use_prefix_tables));
   for (char ch : format) mix(static_cast<std::uint64_t>(ch));
   mix(static_cast<std::uint64_t>(format.size()));
   return h;

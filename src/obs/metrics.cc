@@ -197,6 +197,12 @@ void PreregisterCanonicalMetrics() {
   r.GetGauge("avs.recvec_levels");
   r.GetGauge("avs.max_degree");
   r.GetGauge("mem.peak_scope_bytes");
+  // Table-driven edge kernel (core/prefix_tables.h, rng/lane_rng.h; see
+  // docs/PERFORMANCE.md).
+  r.GetCounter("kernel.table_scopes");
+  r.GetCounter("kernel.table_edges");
+  r.GetCounter("kernel.dedup_wiped_words");
+  r.GetGauge("kernel.simd_lanes");
   // Work-stealing scheduler (core/scheduler.cc).
   r.GetCounter("sched.chunks");
   r.GetCounter("sched.steals");

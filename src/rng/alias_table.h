@@ -1,6 +1,15 @@
+// rng/alias_table.h — O(1) discrete sampling via Walker's alias method.
+// Two flavors: AliasTable, the general-purpose variant (arbitrary size, two
+// RNG draws per sample) kept for data-driven degree distributions; and
+// PackedAliasTable, the kernel variant used by the baseline prefix tables
+// (baseline/rmat.h) — power-of-two size so a single 64-bit draw supplies
+// both the column choice (top bits) and the accept/alias test (low bits vs
+// a precomputed integer threshold), with no floating-point comparison in
+// the sample path.
 #ifndef TRILLIONG_RNG_ALIAS_TABLE_H_
 #define TRILLIONG_RNG_ALIAS_TABLE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -71,6 +80,94 @@ class AliasTable {
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;
+};
+
+/// Alias table with 2^k outcomes sampled from one raw 64-bit value: the top
+/// k bits pick the column, the remaining 64-k bits are compared against the
+/// column's acceptance threshold scaled to integer range. Outcome counts
+/// that are not powers of two are handled by zero-padding the weight vector
+/// (zero-weight columns get threshold 0 and are never accepted, so only
+/// their alias can be drawn). One load + one compare per sample.
+class PackedAliasTable {
+ public:
+  PackedAliasTable() = default;
+
+  /// `weights.size()` must be a power of two; weights are non-negative with
+  /// a positive sum (zeros allowed — pad with them).
+  explicit PackedAliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    TG_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                 "PackedAliasTable size must be a power of two");
+    bits_ = 0;
+    while ((std::size_t{1} << bits_) < n) ++bits_;
+    low_mask_ = bits_ == 0 ? ~std::uint64_t{0} : (~std::uint64_t{0} >> bits_);
+
+    double total = 0;
+    for (double w : weights) {
+      TG_CHECK_MSG(w >= 0, "negative weight");
+      total += w;
+    }
+    TG_CHECK_MSG(total > 0, "weights sum to zero");
+
+    // Standard alias construction on weights scaled to mean 1...
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+    std::vector<double> prob(n);
+    alias_.resize(n);
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      std::uint32_t s = small.back();
+      small.pop_back();
+      std::uint32_t l = large.back();
+      large.pop_back();
+      prob[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::uint32_t i : large) {
+      prob[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (std::uint32_t i : small) {  // numerical leftovers
+      prob[i] = 1.0;
+      alias_[i] = i;
+    }
+
+    // ...then bake each acceptance probability into an integer threshold on
+    // the (64 - k) low bits. prob == 1 maps to a threshold strictly above
+    // the largest low value, so full columns always accept.
+    threshold_.resize(n);
+    const double span = std::ldexp(1.0, 64 - bits_);
+    for (std::size_t i = 0; i < n; ++i) {
+      threshold_[i] = prob[i] >= 1.0
+                          ? low_mask_ + (bits_ == 0 ? 0 : 1)
+                          : static_cast<std::uint64_t>(prob[i] * span);
+    }
+  }
+
+  std::size_t size() const { return alias_.size(); }
+
+  /// Draws an outcome from one raw 64-bit value (e.g. Rng::NextUint64 or a
+  /// LaneRng batch). Branch-predictable: a single compare selects column or
+  /// alias.
+  std::uint32_t Sample(std::uint64_t r) const {
+    if (bits_ == 0) return 0;
+    const auto column = static_cast<std::uint32_t>(r >> (64 - bits_));
+    return (r & low_mask_) < threshold_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<std::uint64_t> threshold_;
+  std::vector<std::uint32_t> alias_;
+  int bits_ = 0;
+  std::uint64_t low_mask_ = 0;
 };
 
 }  // namespace tg::rng

@@ -1,3 +1,13 @@
+// rng/random.h — the deterministic random-number substrate: SplitMix64 (seed
+// derivation and hashing), MixSeeds (stream-key mixing), Pcg64 (the
+// statistically strong workhorse), and the Rng façade that every component
+// draws uniforms/Gaussians/bounded integers through. Determinism is the
+// point: every value is a pure function of (seed, stream), Fork derives
+// independent per-scope child streams so generated graphs are identical at
+// any worker count, and nothing here depends on libstdc++ distribution
+// internals (std::normal_distribution etc. are banned — they differ across
+// standard libraries). The batched counter-form generator used by the SIMD
+// edge kernel lives in rng/lane_rng.h and shares SplitMix64's constants.
 #ifndef TRILLIONG_RNG_RANDOM_H_
 #define TRILLIONG_RNG_RANDOM_H_
 
@@ -81,6 +91,13 @@ class Rng {
   Rng Fork(std::uint64_t id) const {
     return Rng(MixSeeds(seed_, stream_), id + 1);
   }
+
+  /// The seed every Fork(id) child is derived from. Exposed so alternative
+  /// per-scope generators (the table kernel's rng::LaneRng) can mint child
+  /// streams from the same deterministic namespace:
+  /// MixSeeds(StreamKey(), id + 1) is worker- and chunk-count independent
+  /// exactly like Fork.
+  std::uint64_t StreamKey() const { return MixSeeds(seed_, stream_); }
 
   std::uint64_t NextUint64() { return gen_.Next(); }
 

@@ -715,7 +715,13 @@ TEST(FaultReportTest, InjectedScheduleAppearsInRunReport) {
   core::TrillionGConfig config;
   config.scale = 9;
   config.num_workers = 2;
-  FaultInjector injector(MustParse("m1:crash@chunk=2"), config.num_workers);
+  // Slow machine 0 so it sleeps (yielding the CPU) after every chunk: the
+  // doomed machine reliably reaches its second chunk boundary and orphans
+  // its remaining deque onto the recovery queue before the survivor can
+  // steal it dry. Without the slowdown, scale-9 chunks are so fast that
+  // machine 0 can drain both deques first, leaving nothing to recover.
+  FaultInjector injector(MustParse("m0:slow@100x,m1:crash@chunk=2"),
+                         config.num_workers);
   config.fault_injector = &injector;
   std::map<VertexId, std::vector<VertexId>> merged;
   std::mutex mu;

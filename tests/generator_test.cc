@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/avs_generator.h"
+#include "core/cdf_vector.h"
+#include "core/prefix_tables.h"
+#include "core/scope_dedup.h"
 #include "core/trilliong.h"
 #include "model/edge_probability.h"
+#include "obs/metrics.h"
+#include "rng/lane_rng.h"
 
 namespace tg::core {
 namespace {
@@ -41,6 +48,30 @@ TrillionGConfig SmallConfig(int scale = 10) {
   config.edge_factor = 8;
   config.rng_seed = 4242;
   return config;
+}
+
+/// Order-independent hash of the whole generated graph, usable with any
+/// worker count (per-scope hashes commute under addition).
+std::uint64_t HashedGraph(const TrillionGConfig& config) {
+  class HashSink : public ScopeSink {
+   public:
+    explicit HashSink(std::atomic<std::uint64_t>* acc) : acc_(acc) {}
+    void ConsumeScope(VertexId u, const VertexId* adj,
+                      std::size_t n) override {
+      std::uint64_t h = rng::MixSeeds(u, n);
+      for (std::size_t i = 0; i < n; ++i) h = rng::MixSeeds(h, adj[i]);
+      acc_->fetch_add(h, std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<std::uint64_t>* acc_;
+  };
+  std::atomic<std::uint64_t> acc{0};
+  Generate(config,
+           [&](int, VertexId, VertexId) -> std::unique_ptr<ScopeSink> {
+             return std::make_unique<HashSink>(&acc);
+           });
+  return acc.load();
 }
 
 TEST(AvsGeneratorTest, TotalEdgesCloseToTarget) {
@@ -355,6 +386,144 @@ TEST(AvsGeneratorTest, ZeroDegreeScopesAreSkipped) {
     (void)u;
     EXPECT_FALSE(dsts.empty());
   }
+}
+
+// --- The table kernel (core/prefix_tables.h + rng/lane_rng.h). ---
+
+TEST(PrefixTablesTest, InversionMatchesCdfVectorExhaustively) {
+  // Ground truth: for every source u and destination v at small scales, the
+  // midpoint of v's normalized CDF interval must invert to exactly v. This
+  // checks every boundary, every group width (scale 9 -> widths 8 + 1), and
+  // the per-scope row-mass product against the materialized CDF.
+  for (int scale : {1, 3, 8, 9}) {
+    NoiseVector noise(SeedMatrix::Graph500(), scale);
+    AvsPrefixTables tables(noise);
+    const VertexId n = VertexId{1} << scale;
+    for (VertexId u = 0; u < n; ++u) {
+      CdfVector cdf(noise, u);
+      const AvsPrefixTables::ScopeView view = tables.ViewFor(u);
+      EXPECT_NEAR(view.total, cdf.Total(), 1e-12 * cdf.Total());
+      for (VertexId v = 0; v < n; ++v) {
+        const double mid = (cdf[v] + cdf[v + 1]) / (2.0 * cdf.Total());
+        EXPECT_EQ(tables.Invert(view, mid), v)
+            << "scale=" << scale << " u=" << u << " v=" << v;
+      }
+      // Extremes of the deviate range stay in range.
+      EXPECT_EQ(tables.Invert(view, 0.0), 0u);
+      EXPECT_LT(tables.Invert(view, 0x1.fffffffffffffp-1), n);
+    }
+  }
+}
+
+TEST(PrefixTablesTest, InversionMatchesCdfVectorUnderNoise) {
+  // NSKG noise gives every level a different matrix, exercising the
+  // per-level table entries (not just a repeated base matrix).
+  rng::Rng noise_rng(7, 99);
+  NoiseVector noise(SeedMatrix::Graph500(), 7, 0.05, &noise_rng);
+  AvsPrefixTables tables(noise);
+  const VertexId n = VertexId{1} << 7;
+  for (VertexId u = 0; u < n; u += 13) {
+    CdfVector cdf(noise, u);
+    const AvsPrefixTables::ScopeView view = tables.ViewFor(u);
+    for (VertexId v = 0; v < n; ++v) {
+      const double mid = (cdf[v] + cdf[v + 1]) / (2.0 * cdf.Total());
+      EXPECT_EQ(tables.Invert(view, mid), v) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(AvsGeneratorTest, TableKernelIsEngagedByDefault) {
+  TrillionGConfig config = SmallConfig(10);
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  EXPECT_EQ(stats.table_scopes, stats.num_scopes);
+  EXPECT_EQ(stats.table_edges, stats.num_edges);
+  EXPECT_EQ(stats.rec_vec_builds, 0u);
+
+  // Any ablation toggle (or the explicit kill switch) reverts to the
+  // descent kernel.
+  config.determiner.use_prefix_tables = false;
+  CountingSink sink2;
+  GenerateStats descent = GenerateToSink(config, &sink2);
+  EXPECT_EQ(descent.table_scopes, 0u);
+  EXPECT_GT(descent.rec_vec_builds, 0u);
+}
+
+TEST(AvsGeneratorTest, TableKernelMatchesTargetEdgeCount) {
+  TrillionGConfig config = SmallConfig(12);
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  double expected = static_cast<double>(config.NumEdges());
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(AvsGeneratorTest, SimdOnAndOffProduceIdenticalGraphs) {
+  // The hard determinism guarantee of the SIMD kernel: forcing the portable
+  // fills must reproduce the exact same graph, including under the
+  // multi-worker work-stealing scheduler.
+  for (int workers : {1, 4}) {
+    TrillionGConfig config = SmallConfig(11);
+    config.num_workers = workers;
+    config.chunks_per_worker = 8;
+
+    rng::SetLaneForcePortable(false);
+    std::uint64_t hash_simd = HashedGraph(config);
+    rng::SetLaneForcePortable(true);
+    std::uint64_t hash_portable = HashedGraph(config);
+    rng::SetLaneForcePortable(false);
+
+    EXPECT_EQ(hash_simd, hash_portable) << "workers=" << workers;
+  }
+}
+
+TEST(ScopeDedupTest, DenseWipesAreLazy) {
+  // Regression for the eager bits_.assign(words, 0): a dense Reset must
+  // wipe only the words the previous dense scope dirtied, and sparse
+  // Resets must not touch the bitmap at all.
+  ScopeDedup dedup;
+  const VertexId universe = 1 << 16;  // 1024 bitmap words
+  const std::uint64_t dense_degree = universe / 16;
+
+  dedup.Reset(dense_degree, universe);
+  ASSERT_TRUE(dedup.dense());
+  EXPECT_EQ(dedup.wiped_words(), 0u);  // first Reset: fresh words are zero
+  EXPECT_TRUE(dedup.Insert(0));
+  EXPECT_TRUE(dedup.Insert(1));    // same word as 0
+  EXPECT_TRUE(dedup.Insert(640));  // second word
+  EXPECT_FALSE(dedup.Insert(640));
+
+  // Sparse scopes in between leave the bitmap (and the wipe count) alone.
+  dedup.Reset(4, universe);
+  ASSERT_FALSE(dedup.dense());
+  EXPECT_TRUE(dedup.Insert(123));
+  EXPECT_EQ(dedup.wiped_words(), 0u);
+
+  // The next dense Reset wipes exactly the two dirtied words — not all
+  // 1024 — and the bitmap is clean again.
+  dedup.Reset(dense_degree, universe);
+  ASSERT_TRUE(dedup.dense());
+  EXPECT_EQ(dedup.wiped_words(), 2u);
+  EXPECT_TRUE(dedup.Insert(0));
+  EXPECT_TRUE(dedup.Insert(640));
+
+  dedup.Reset(dense_degree, universe);
+  EXPECT_EQ(dedup.wiped_words(), 4u);
+}
+
+TEST(AvsGeneratorTest, DedupWipeWorkIsProportionalToEdges) {
+  // End-to-end regression: total wiped bitmap words across a run must be
+  // bounded by the edges inserted into dense scopes, never by
+  // scopes * |V|/64 (the eager-clearing cost).
+  TrillionGConfig config = SmallConfig(10);
+  config.edge_factor = 32;  // push some scopes over the dense threshold
+  const std::uint64_t before =
+      obs::GetCounter("kernel.dedup_wiped_words")->value();
+  CountingSink sink;
+  GenerateStats stats = GenerateToSink(config, &sink);
+  const std::uint64_t wiped =
+      obs::GetCounter("kernel.dedup_wiped_words")->value() - before;
+  EXPECT_LE(wiped, stats.num_edges);
 }
 
 }  // namespace

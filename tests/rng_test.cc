@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rng/alias_table.h"
+#include "rng/lane_rng.h"
 #include "rng/random.h"
 
 namespace tg::rng {
@@ -198,6 +199,128 @@ TEST(MixSeedsTest, SensitiveToBothInputs) {
     }
   }
   EXPECT_EQ(values.size(), 100u);
+}
+
+// --- LaneRng: the batched counter-form generator of the SIMD edge kernel.
+// The determinism contract (docs/PERFORMANCE.md) is that every draw is a
+// pure function of (seed, counter): the scalar reference, the unrolled
+// portable fill, and the AVX2 fill must agree bit for bit.
+
+TEST(LaneRngTest, MatchesSplitMix64Reference) {
+  // Counter form == the sequential SplitMix64 stream, value for value.
+  SplitMix64 reference(987654321);
+  LaneRng lane(987654321);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(lane.Next(), reference.Next());
+}
+
+TEST(LaneRngTest, FillRawMatchesScalarNextAtAnyLength) {
+  for (std::size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000}) {
+    LaneRng scalar(42), batched(42);
+    std::vector<std::uint64_t> expected(n), got(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = scalar.Next();
+    batched.FillRaw(got.data(), n);
+    EXPECT_EQ(got, expected) << "n=" << n;
+    // Both generators must land on the same state afterwards.
+    EXPECT_EQ(batched.Next(), scalar.Next()) << "n=" << n;
+  }
+}
+
+TEST(LaneRngTest, FillUnitMatchesScalarConversionBitExactly) {
+  LaneRng scalar(7), batched(7);
+  std::vector<double> expected(257), got(257);
+  for (double& x : expected) x = scalar.NextUnit();
+  batched.FillUnit(got.data(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Bitwise comparison, not EXPECT_DOUBLE_EQ: the contract is identity.
+    EXPECT_EQ(got[i], expected[i]) << i;
+    EXPECT_GE(got[i], 0.0);
+    EXPECT_LT(got[i], 1.0);
+  }
+}
+
+TEST(LaneRngTest, PortableAndActiveFillsAreBitIdentical) {
+  // In an AVX2 build this pins SIMD == portable; in a portable build it
+  // degenerates to portable == portable and still guards the state math.
+  LaneRng a(123), b(123);
+  std::vector<std::uint64_t> simd(301), portable(301);
+  a.FillRaw(simd.data(), simd.size());
+  b.FillRawPortable(portable.data(), portable.size());
+  EXPECT_EQ(simd, portable);
+
+  LaneRng c(321), d(321);
+  std::vector<double> simd_unit(301), portable_unit(301);
+  c.FillUnit(simd_unit.data(), simd_unit.size());
+  d.FillUnitPortable(portable_unit.data(), portable_unit.size());
+  for (std::size_t i = 0; i < simd_unit.size(); ++i) {
+    EXPECT_EQ(simd_unit[i], portable_unit[i]) << i;
+  }
+}
+
+TEST(LaneRngTest, ForcePortableSwitchKeepsStream) {
+  std::vector<std::uint64_t> on(128), off(128);
+  {
+    LaneRng lane(55);
+    lane.FillRaw(on.data(), on.size());
+  }
+  SetLaneForcePortable(true);
+  {
+    LaneRng lane(55);
+    lane.FillRaw(off.data(), off.size());
+  }
+  SetLaneForcePortable(false);
+  EXPECT_EQ(on, off);
+}
+
+TEST(LaneRngTest, InterleavedScalarAndBatchDrawsShareOneCounter) {
+  // Mixing Next()/NextGaussian() header draws with Fill* blocks must
+  // consume the same single stream as all-scalar draws — this is what lets
+  // the scope-size draw precede the batched deviate blocks.
+  LaneRng reference(99), mixed(99);
+  std::vector<std::uint64_t> expected(40), got(40);
+  for (auto& x : expected) x = reference.Next();
+  got[0] = mixed.Next();
+  mixed.FillRaw(got.data() + 1, 17);
+  got[18] = mixed.Next();
+  mixed.FillRaw(got.data() + 19, 21);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LaneRngTest, GaussianMomentsAreSane) {
+  LaneRng lane(2024);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = lane.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(PackedAliasTableTest, FrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 4.0};
+  PackedAliasTable table(weights);
+  LaneRng lane(31337);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(lane.Next())];
+  EXPECT_EQ(counts[2], 0);  // zero weight is never drawn
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = n * weights[i] / 8.0;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected + 1.0)) << i;
+  }
+}
+
+TEST(PackedAliasTableTest, SingleOutcome) {
+  PackedAliasTable table(std::vector<double>{2.5});
+  EXPECT_EQ(table.Sample(0), 0u);
+  EXPECT_EQ(table.Sample(~std::uint64_t{0}), 0u);
+}
+
+TEST(PackedAliasTableDeathTest, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(PackedAliasTable(std::vector<double>{1.0, 1.0, 1.0}),
+               "power of two");
 }
 
 }  // namespace
