@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/sampler.h"
+#include "obs/serve/admin_server.h"
 #include "obs/trace.h"
 #include "util/common.h"
 #include "util/flags.h"
@@ -79,6 +80,14 @@ inline std::uint64_t BudgetBytesFromEnv(std::uint64_t default_bytes) {
 ///                                      Chrome Trace Event file on exit
 ///   TG_SAMPLE_MS=50                    sample time series at this interval,
 ///                                      embedded in the RunReport
+///                                      (TG_SAMPLE_INTERVAL_MS is honored
+///                                      as an alias, TG_SAMPLE_MS winning)
+///   TG_ADMIN_PORT=9900                 serve the live admin endpoints
+///                                      (/metrics, /healthz, /report.json,
+///                                      /events, /trace) for the duration
+///                                      of the bench; 0 = ephemeral port,
+///                                      printed at startup. Implies the
+///                                      sampler so /events has ticks.
 ///
 ///   TG_METRICS_JSON=/tmp/{name}.json ./bench_fig11b_distributed
 ///
@@ -91,23 +100,42 @@ class ObsSession {
     path_ = PathFromEnv("TG_METRICS_JSON");
     trace_path_ = PathFromEnv("TG_TRACE_JSON");
     const char* sample_ms = std::getenv("TG_SAMPLE_MS");
-    if (path_.empty() && trace_path_.empty() &&
-        (sample_ms == nullptr || sample_ms[0] == '\0')) {
+    const bool have_sample_ms = sample_ms != nullptr && sample_ms[0] != '\0';
+    const int interval_from_env = obs::SamplerIntervalFromEnv(-1);
+    const int admin_port = obs::serve::AdminServer::PortFromEnv();
+    const bool want_sampler =
+        have_sample_ms || interval_from_env > 0 || admin_port >= 0;
+    if (path_.empty() && trace_path_.empty() && !want_sampler) {
       return;
     }
     obs::SetEnabled(true);
     obs::PreregisterCanonicalMetrics();
     if (!trace_path_.empty()) obs::SetTraceEnabled(true);
-    if (sample_ms != nullptr && sample_ms[0] != '\0') {
+    if (want_sampler) {
       obs::SamplerOptions options;
-      options.interval_ms = std::atoi(sample_ms);
+      if (interval_from_env > 0) options.interval_ms = interval_from_env;
+      if (have_sample_ms) options.interval_ms = std::atoi(sample_ms);
       sampler_ = std::make_unique<obs::Sampler>(options);
       sampler_->Start();
+    }
+    if (admin_port >= 0) {
+      obs::serve::AdminOptions admin_options;
+      admin_options.port = admin_port;
+      admin_options.meta["tool"] = name_;
+      Status status = admin_.Start(admin_options);
+      if (status.ok()) {
+        std::printf("admin server on http://127.0.0.1:%d/ (TG_ADMIN_PORT)\n",
+                    admin_.port());
+      } else {
+        std::fprintf(stderr, "cannot start admin server: %s\n",
+                     status.ToString().c_str());
+      }
     }
   }
 
   ~ObsSession() {
     if (sampler_ != nullptr) sampler_->Stop();
+    admin_.Stop();
     if (!trace_path_.empty()) {
       Status status = obs::WriteChromeTraceFile(trace_path_);
       if (status.ok()) {
@@ -152,6 +180,7 @@ class ObsSession {
   std::string path_;
   std::string trace_path_;
   std::unique_ptr<obs::Sampler> sampler_;
+  obs::serve::AdminServer admin_;
 };
 
 /// Human-readable byte count.

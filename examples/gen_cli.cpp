@@ -24,6 +24,8 @@
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/sampler.h"
+#include "obs/serve/admin_server.h"
+#include "obs/serve/prometheus.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "rng/lane_rng.h"
@@ -83,8 +85,10 @@ int main(int argc, char** argv) {
         "       [--chunks_per_worker=N]\n"
         "       [--portable_kernel] [--no_prefix_tables]\n"
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
-        "       [--metrics_json=PATH] [--metrics_table]\n"
+        "       [--metrics_json=PATH] [--metrics_prom=PATH] "
+        "[--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
+        "       [--sample_interval_ms=N] [--admin_port=N]\n"
         "       [--mem_budget=SIZE] [--oom_report=PATH]\n"
         "       [--fault_plan=PLAN] [--journal] [--resume]\n"
         "--fault_plan injects deterministic faults into the simulated\n"
@@ -102,11 +106,20 @@ int main(int argc, char** argv) {
         "breakdown, span stack) are printed — and written as standalone\n"
         "JSON when --oom_report is given.\n"
         "--metrics_json writes a structured tg::obs run report (JSON; see\n"
-        "docs/OBSERVABILITY.md); --metrics_table prints it human-readable.\n"
+        "docs/OBSERVABILITY.md); --metrics_prom writes the same registry in\n"
+        "Prometheus text exposition format; --metrics_table prints it\n"
+        "human-readable.\n"
         "--trace_json writes a Chrome Trace Event file (open in Perfetto or\n"
         "chrome://tracing); --progress prints a live edges/sec + ETA line;\n"
-        "--sample_ms sets the sampling interval (default 20) for the time\n"
-        "series embedded in the run report.\n"
+        "--sample_ms / --sample_interval_ms set the sampling interval\n"
+        "(default 20 ms; TG_SAMPLE_INTERVAL_MS in the environment is the\n"
+        "fallback) for the time series embedded in the run report.\n"
+        "--admin_port starts the live admin server (docs/OBSERVABILITY.md\n"
+        "\"Live endpoints\": /metrics, /healthz, /report.json, /events,\n"
+        "/trace) on 127.0.0.1:<N> for the duration of the run; 0 picks an\n"
+        "ephemeral port, printed at startup. The server only reads\n"
+        "observability state: output files are bit-identical with it on or\n"
+        "off.\n"
         "--chunks_per_worker sets the work-stealing granularity (default "
         "16;\n1 = static one-range-per-worker schedule; output is "
         "bit-identical\nfor any value; TG_CHUNKS_PER_WORKER in the "
@@ -243,12 +256,16 @@ int main(int argc, char** argv) {
   const std::string oom_report_path = flags.GetString("oom_report", "");
 
   const std::string metrics_json = flags.GetString("metrics_json", "");
+  const std::string metrics_prom = flags.GetString("metrics_prom", "");
   const std::string trace_json = flags.GetString("trace_json", "");
   const bool metrics_table = flags.GetBool("metrics_table", false);
   const bool progress = flags.GetBool("progress", false);
-  const bool want_sampler = progress || flags.Has("sample_ms");
-  const bool want_metrics = !metrics_json.empty() || metrics_table ||
-                            !trace_json.empty() || want_sampler;
+  const bool want_admin = flags.Has("admin_port");
+  const bool want_sampler = progress || flags.Has("sample_ms") ||
+                            flags.Has("sample_interval_ms") || want_admin;
+  const bool want_metrics = !metrics_json.empty() || !metrics_prom.empty() ||
+                            metrics_table || !trace_json.empty() ||
+                            want_sampler;
   if (want_metrics) {
     tg::obs::SetEnabled(true);
     tg::obs::PreregisterCanonicalMetrics();
@@ -258,12 +275,47 @@ int main(int argc, char** argv) {
   std::unique_ptr<tg::obs::Sampler> sampler;
   if (want_sampler || !metrics_json.empty()) {
     tg::obs::SamplerOptions sampler_options;
-    sampler_options.interval_ms =
-        static_cast<int>(flags.GetInt("sample_ms", 20));
+    // Interval precedence: --sample_interval_ms, then the legacy
+    // --sample_ms spelling, then TG_SAMPLE_INTERVAL_MS, then 20 ms.
+    int interval_ms = tg::obs::SamplerIntervalFromEnv(20);
+    if (flags.Has("sample_ms")) {
+      interval_ms = static_cast<int>(flags.GetInt("sample_ms", interval_ms));
+    }
+    if (flags.Has("sample_interval_ms")) {
+      interval_ms =
+          static_cast<int>(flags.GetInt("sample_interval_ms", interval_ms));
+    }
+    sampler_options.interval_ms = interval_ms;
     sampler_options.print_progress = progress;
     sampler_options.progress_target_edges = config.NumEdges();
     sampler = std::make_unique<tg::obs::Sampler>(sampler_options);
     sampler->Start();
+  }
+
+  tg::obs::serve::AdminServer admin;
+  if (want_admin) {
+    tg::obs::serve::AdminOptions admin_options;
+    const int admin_port = static_cast<int>(flags.GetInt("admin_port", 0));
+    if (admin_port < 0 || admin_port > 65535) {
+      std::fprintf(stderr, "--admin_port must be in [0, 65535]\n");
+      return 1;
+    }
+    admin_options.port = admin_port;
+    admin_options.meta["tool"] = "gen_cli";
+    admin_options.meta["scale"] = std::to_string(config.scale);
+    admin_options.meta["edge_factor"] = std::to_string(config.edge_factor);
+    admin_options.meta["workers"] = std::to_string(config.num_workers);
+    admin_options.meta["seed"] = std::to_string(config.rng_seed);
+    admin_options.meta["format"] = format;
+    admin_options.meta["out"] = out;
+    tg::Status admin_status = admin.Start(admin_options);
+    if (!admin_status.ok()) {
+      std::fprintf(stderr, "cannot start admin server: %s\n",
+                   admin_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin server on http://127.0.0.1:%d/ (try /metrics)\n",
+                admin.port());
   }
 
   std::printf("generating scale %d (|V|=%llu, |E|=%llu) as %s into %s.*\n",
@@ -400,7 +452,18 @@ int main(int argc, char** argv) {
       }
       std::printf("metrics report written to %s\n", metrics_json.c_str());
     }
+    if (!metrics_prom.empty()) {
+      tg::Status status = tg::obs::serve::WritePrometheusFile(metrics_prom);
+      if (!status.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", metrics_prom.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("prometheus exposition written to %s\n",
+                  metrics_prom.c_str());
+    }
   }
+  admin.Stop();
   if (oomed) return 1;
   return faulted ? 2 : 0;
 }

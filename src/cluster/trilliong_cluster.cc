@@ -52,6 +52,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   const double per_bin_target =
       static_cast<double>(num_edges) / static_cast<double>(workers);
   std::vector<std::vector<Bin>> worker_bins(workers);
+  obs::SetCurrentPhase("cluster.combine");
   stats.combine_seconds = cluster->RunParallel([&](int w) {
     TG_SPAN("cluster.combine");
     VertexId begin =
@@ -94,6 +95,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   std::vector<VertexId> boundaries;
   {
     Stopwatch master_watch;
+    obs::SetCurrentPhase("cluster.repartition");
     TG_SPAN("cluster.repartition");
     double total_mass = 0;
     for (const auto& bins : worker_bins) {
@@ -175,6 +177,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   sched_options.resume_next_seq = config.resume_next_seq;
   sched_options.on_chunk_commit = config.chunk_commit_hook;
 
+  obs::SetCurrentPhase("generate");
   auto run_generation = [&]<typename Real>() {
     auto make_worker = [&](int w) -> core::ChunkFn {
       auto generator = std::make_shared<core::AvsRangeGenerator<Real>>(
@@ -213,6 +216,7 @@ ClusterGenerateStats GenerateOnCluster(SimCluster* cluster,
   core::RecordAvsStats(merged);
   obs::GetGauge("avs.recvec_levels")->Set(static_cast<double>(scale));
   cluster->RecordMachineStats();
+  obs::SetCurrentPhase("idle");
   return stats;
 }
 

@@ -38,6 +38,7 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   Stopwatch watch;
 
   const model::NoiseVector noise = MakeNoise(config);
+  obs::SetCurrentPhase("partition");
   const std::vector<VertexId> boundaries = [&] {
     TG_SPAN("partition");
     return PartitionByCdf(noise, config.num_workers);
@@ -45,6 +46,7 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   stats.partition_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
+  obs::SetCurrentPhase("generate");
   TG_SPAN("generate");
   const rng::Rng root(config.rng_seed, /*stream=*/1);
   AvsRangeGenerator<Real> generator(&noise, config.NumEdges(),
@@ -142,6 +144,7 @@ GenerateStats RunTyped(const TrillionGConfig& config,
                        static_cast<double>(worker_stats[w].peak_scope_bytes));
     reg.MaxMachineStat(w, "cpu_seconds", worker_cpu[w]);
   }
+  obs::SetCurrentPhase("idle");
   return stats;
 }
 

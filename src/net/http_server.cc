@@ -1,0 +1,493 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tg::net {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default:  return "Unknown";
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::Ok();
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// %XX-decodes a query component (also '+' -> space).
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      char hex[3] = {s[i + 1], s[i + 2], 0};
+      out.push_back(static_cast<char>(std::strtoul(hex, nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Parses one request whose header block is text[0, header_end) (excluding
+/// the blank line). Returns false on malformed input.
+bool ParseRequest(const std::string& text, std::size_t header_end,
+                  HttpRequest* out) {
+  std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string::npos || line_end > header_end) return false;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::string line = text.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  out->method = line.substr(0, sp1);
+  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (out->method.empty() || out->target.empty() ||
+      out->target[0] != '/' || version.rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+
+  // Headers: "Name: value" per line, names lower-cased. A line without a
+  // colon is malformed; a bounded count guards against header floods that
+  // stay under the byte cap.
+  std::size_t pos = line_end + 2;
+  int header_count = 0;
+  while (pos < header_end) {
+    std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string header = text.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (header.empty()) break;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) return false;
+    if (++header_count > 100) return false;
+    std::string value = header.substr(colon + 1);
+    const std::size_t first = value.find_first_not_of(" \t");
+    const std::size_t last = value.find_last_not_of(" \t");
+    value = first == std::string::npos
+                ? ""
+                : value.substr(first, last - first + 1);
+    out->headers[ToLower(header.substr(0, colon))] = value;
+  }
+
+  // Split the target into path + decoded query pairs.
+  const std::size_t qmark = out->target.find('?');
+  out->path = out->target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    std::string query = out->target.substr(qmark + 1);
+    std::size_t start = 0;
+    while (start <= query.size()) {
+      std::size_t amp = query.find('&', start);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(start, amp - start);
+      start = amp + 1;
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out->query[UrlDecode(pair)] = "";
+      } else {
+        out->query[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void AppendChunk(const std::string& data, std::string* out) {
+  if (data.empty()) return;
+  char head[24];
+  std::snprintf(head, sizeof(head), "%zx\r\n", data.size());
+  *out += head;
+  *out += data;
+  *out += "\r\n";
+}
+
+void AppendLastChunk(std::string* out) { *out += "0\r\n\r\n"; }
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(const Options& options, Handler handler) {
+  Stop();
+  options_ = options;
+  handler_ = std::move(handler);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("cannot bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  Status nb = SetNonBlocking(listen_fd_);
+  if (!nb.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return nb;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_fds_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("pipe() failed");
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&HttpServer::Loop, this);
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  // Wake poll() so the loop observes the stop flag promptly.
+  char byte = 'q';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) ::close(conn->fd);
+    conns_.clear();
+    running_ = false;
+  }
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_ = -1;
+}
+
+bool HttpServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int HttpServer::port() const { return port_; }
+
+void HttpServer::Broadcast(const std::string& channel, const std::string& data) {
+  bool any = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    for (auto& conn : conns_) {
+      if (conn->channel == channel && !conn->broken) {
+        AppendChunk(data, &conn->out);
+        any = true;
+      }
+    }
+  }
+  if (any) {
+    char byte = 'b';
+    (void)!::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+std::size_t HttpServer::SubscriberCount(const std::string& channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& conn : conns_) {
+    if (conn->channel == channel && !conn->broken) ++n;
+  }
+  return n;
+}
+
+void HttpServer::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<Connection*> polled;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) return;
+      fds.clear();
+      polled.clear();
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fds.push_back({wake_fds_[0], POLLIN, 0});
+      for (auto& conn : conns_) {
+        short events = POLLIN;
+        if (!conn->out.empty()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+        polled.push_back(conn.get());
+      }
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+
+    // Drain the wake pipe.
+    if (fds[1].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // New connections.
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        std::lock_guard<std::mutex> lock(mu_);
+        if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+          ::close(fd);
+          continue;
+        }
+        SetNonBlocking(fd);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+      }
+    }
+
+    // Existing connections: read + parse + write outside mu_ (handlers may
+    // take observability locks; Broadcast from other threads only appends
+    // to out buffers under mu_, so we re-acquire it around buffer edits).
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      Connection* conn = polled[i];
+      const short revents = fds[i + 2].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        conn->broken = true;
+      }
+      if (!conn->broken && (revents & POLLIN)) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+          if (n > 0) {
+            std::lock_guard<std::mutex> lock(mu_);
+            conn->in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) conn->broken = true;  // peer closed
+          break;  // EAGAIN or error
+        }
+        if (!conn->broken && !ServiceInput(conn)) conn->broken = true;
+      }
+      if (!conn->broken && !conn->out.empty()) {
+        std::string pending;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          pending.swap(conn->out);
+        }
+        std::size_t sent = 0;
+        while (sent < pending.size()) {
+          const ssize_t n =
+              ::write(conn->fd, pending.data() + sent, pending.size() - sent);
+          if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          conn->broken = true;
+          break;
+        }
+        if (sent < pending.size() && !conn->broken) {
+          // Put the unsent tail back *in front of* anything broadcast since.
+          std::lock_guard<std::mutex> lock(mu_);
+          conn->out.insert(0, pending, sent, pending.size() - sent);
+        }
+        if (!conn->broken && conn->close_after_write) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (conn->out.empty()) conn->broken = true;
+        }
+      }
+    }
+
+    // Sweep closed connections.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->broken) {
+          ::close((*it)->fd);
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+}
+
+bool HttpServer::ServiceInput(Connection* conn) {
+  for (;;) {
+    std::string in_snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_snapshot = conn->in;
+    }
+    const std::size_t header_end = in_snapshot.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (in_snapshot.size() > options_.max_request_bytes) {
+        RespondError(conn, 431, "request too large\n");
+        return true;
+      }
+      return true;  // wait for more bytes
+    }
+
+    HttpRequest request;
+    if (!ParseRequest(in_snapshot, header_end, &request)) {
+      RespondError(conn, 400, "malformed request\n");
+      return true;
+    }
+    {
+      // Consume the parsed request (pipelined requests keep the tail).
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->in.erase(0, header_end + 4);
+    }
+
+    if (request.headers.count("content-length") &&
+        request.headers["content-length"] != "0") {
+      RespondError(conn, 413, "request bodies not supported\n");
+      return true;
+    }
+    if (request.method != "GET" && request.method != "HEAD") {
+      RespondError(conn, 405, "only GET and HEAD are supported\n");
+      return true;
+    }
+
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = std::string("handler error: ") + e.what() + "\n";
+    }
+    Respond(conn, request, response);
+    if (conn->close_after_write || !conn->channel.empty()) return true;
+  }
+}
+
+void HttpServer::Respond(Connection* conn, const HttpRequest& request,
+                         const HttpResponse& response) {
+  const bool head = request.method == "HEAD";
+  const bool streaming = !response.stream_channel.empty() && !head;
+  const bool chunked = (response.chunked || streaming) && !head;
+  auto it = request.headers.find("connection");
+  const bool close =
+      (it != request.headers.end() && ToLower(it->second) == "close");
+
+  std::string out;
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  if (streaming) {
+    out += "Cache-Control: no-cache\r\n";
+  }
+  if (chunked) {
+    out += "Transfer-Encoding: chunked\r\n";
+  } else {
+    // HEAD advertises the length a GET would return, with no body bytes.
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  out += close || streaming ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  if (!head) {
+    if (chunked) {
+      // Large bodies go out in bounded chunks; streams leave the chunk
+      // sequence open for Broadcast.
+      for (std::size_t off = 0; off < response.body.size(); off += 64 * 1024) {
+        AppendChunk(response.body.substr(off, 64 * 1024), &out);
+      }
+      if (!streaming) AppendLastChunk(&out);
+    } else {
+      out += response.body;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  conn->out += out;
+  if (streaming) conn->channel = response.stream_channel;
+  if (close) conn->close_after_write = true;
+}
+
+void HttpServer::RespondError(Connection* conn, int status,
+                              const std::string& text) {
+  std::string out;
+  out += "HTTP/1.1 " + std::to_string(status) + " " + ReasonPhrase(status) +
+         "\r\n";
+  out += "Content-Type: text/plain; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(text.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += text;
+  std::lock_guard<std::mutex> lock(mu_);
+  conn->out += out;
+  conn->close_after_write = true;
+}
+
+}  // namespace tg::net

@@ -1,0 +1,145 @@
+// net/http_server.h — a minimal poll-based HTTP/1.1 server: the network
+// substrate of the live observability plane (src/obs/serve/) and, by design,
+// of the future `tg::serve` generation daemon (ROADMAP item 1). No third
+// party dependencies: one listener socket, one service thread multiplexing
+// every connection through poll(2), bounded request parsing, and response
+// writers for plain bodies, chunked transfer, and Server-Sent Event streams.
+//
+// Scope is deliberately narrow — GET/HEAD only, no request bodies, loopback
+// bind by default — because every current consumer is a read-only admin
+// surface. What it does support is exactly what a pull-based monitoring
+// plane needs: keep-alive with pipelining (Prometheus scrapers reuse
+// connections), long-lived streaming responses fed from other threads
+// (Broadcast), and hard limits on request size so a misbehaving client
+// cannot grow server-side buffers.
+#ifndef TRILLIONG_NET_HTTP_SERVER_H_
+#define TRILLIONG_NET_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg::net {
+
+/// One parsed request. Header names are lower-cased; the query string is
+/// split into decoded key=value pairs.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string target;  ///< raw request target, e.g. "/metrics?name=avs"
+  std::string path;    ///< target up to the first '?'
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+};
+
+/// What a handler returns. Plain responses carry `body` and are written with
+/// a Content-Length. `chunked` switches to Transfer-Encoding: chunked (large
+/// downloads). A non-empty `stream_channel` turns the connection into a
+/// long-lived chunked stream: the response headers and `body` (typically an
+/// SSE preamble) are written immediately, the connection is subscribed to
+/// that channel, and every later HttpServer::Broadcast to the channel is
+/// appended as one chunk until the client disconnects.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  /// Extra headers (e.g. Content-Disposition); Content-Length/Connection
+  /// are managed by the server.
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool chunked = false;
+  std::string stream_channel;
+};
+
+/// The server. Start spawns one service thread that owns all sockets;
+/// handlers run on that thread, so they must not block for long (the admin
+/// endpoints only snapshot in-memory state). Broadcast may be called from
+/// any thread.
+class HttpServer {
+ public:
+  struct Options {
+    /// Loopback by default: the admin plane is not an external service.
+    std::string bind_address = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the result from port().
+    int port = 0;
+    /// A connection whose buffered request bytes exceed this without
+    /// forming a complete request is answered 431 and closed.
+    std::size_t max_request_bytes = 16 * 1024;
+    /// Accepted connections beyond this are closed immediately.
+    int max_connections = 64;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();  ///< Stop()s if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the service thread. `handler` is called for
+  /// every well-formed GET/HEAD request.
+  Status Start(const Options& options, Handler handler);
+
+  /// Closes the listener and every connection and joins the thread.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// The bound port (the ephemeral one when Options::port was 0); -1 when
+  /// not running.
+  int port() const;
+
+  /// Appends `data` as one chunk to every connection streaming `channel`
+  /// and wakes the service thread. Callable from any thread; cheap when the
+  /// channel has no subscribers.
+  void Broadcast(const std::string& channel, const std::string& data);
+
+  /// Current number of connections subscribed to `channel`.
+  std::size_t SubscriberCount(const std::string& channel) const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;         ///< bytes received, not yet parsed
+    std::string out;        ///< bytes to send
+    std::string channel;    ///< non-empty: streaming subscriber
+    bool close_after_write = false;
+    bool broken = false;
+  };
+
+  void Loop();
+  /// Parses and answers every complete request in `conn->in`. Returns false
+  /// when the connection must be dropped without further writes.
+  bool ServiceInput(Connection* conn);
+  void Respond(Connection* conn, const HttpRequest& request,
+               const HttpResponse& response);
+  void RespondError(Connection* conn, int status, const std::string& text);
+
+  Handler handler_;
+  Options options_;
+  mutable std::mutex mu_;  ///< guards conns_ and wakes
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: Broadcast/Stop wake poll()
+  int port_ = -1;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+/// Appends `data` to `out` in HTTP/1.1 chunked framing (hex length, CRLF,
+/// payload, CRLF). Empty `data` is skipped — an empty chunk would terminate
+/// the stream; use AppendLastChunk for that.
+void AppendChunk(const std::string& data, std::string* out);
+void AppendLastChunk(std::string* out);
+
+}  // namespace tg::net
+
+#endif  // TRILLIONG_NET_HTTP_SERVER_H_

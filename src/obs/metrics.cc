@@ -9,10 +9,34 @@ namespace tg::obs {
 
 namespace {
 std::atomic<bool> g_enabled{false};
+std::atomic<const char*> g_phase{"idle"};
+
+std::mutex g_event_observer_mu;
+std::function<void(const Event&)> g_event_observer;
+
+void NotifyEventObserver(const Event& event) {
+  std::function<void(const Event&)> observer;
+  {
+    std::lock_guard<std::mutex> lock(g_event_observer_mu);
+    observer = g_event_observer;
+  }
+  if (observer) observer(event);
+}
 }  // namespace
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void SetCurrentPhase(const char* phase) {
+  g_phase.store(phase == nullptr ? "idle" : phase, std::memory_order_relaxed);
+}
+
+const char* CurrentPhase() { return g_phase.load(std::memory_order_relaxed); }
+
+void SetEventObserver(std::function<void(const Event&)> observer) {
+  std::lock_guard<std::mutex> lock(g_event_observer_mu);
+  g_event_observer = std::move(observer);
+}
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
@@ -159,12 +183,18 @@ std::map<int, std::map<std::string, double>> Registry::MachineStats() const {
 void Registry::RecordEvent(Event event) {
   // The dropped counter is fetched before taking mu_ (GetCounter locks it).
   Counter* dropped = GetCounter("obs.events_dropped");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= kMaxEvents) {
-    dropped->Increment();
-    return;
+  bool stored = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(event);
+      stored = true;
+    }
   }
-  events_.push_back(std::move(event));
+  if (!stored) dropped->Increment();
+  // Fan out after releasing mu_ — live consumers (SSE) get every event,
+  // even ones the bounded report buffer dropped.
+  NotifyEventObserver(event);
 }
 
 std::vector<Event> Registry::EventValues() const {
@@ -232,6 +262,9 @@ void PreregisterCanonicalMetrics() {
   // Live progress + tracing (obs/sampler.h, obs/trace.h).
   r.GetCounter("progress.edges");
   r.GetCounter("trace.dropped_events");
+  // Sampler tick drift (obs/sampler.cc): observed minus nominal interval of
+  // the latest tick, so SSE consumers can judge timestamp quality.
+  r.GetGauge("obs.sampler.drift_ms");
   // Fault injection + recovery (fault/fault_injector.h, core/scheduler.cc,
   // cluster/sim_cluster.h). Zero in a fault-free run by construction.
   r.GetCounter("fault.injected");

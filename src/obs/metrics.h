@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,14 @@ namespace tg::obs {
 /// report pays one predictable branch per scope and no clock syscalls.
 bool Enabled();
 void SetEnabled(bool on);
+
+/// Coarse run-phase marker ("partition", "generate", "idle", ...) for cheap
+/// liveness surfaces — the admin server's `GET /healthz` reports it without
+/// touching the registry. `phase` must be a string literal (the pointer is
+/// stored, not copied); the drivers in core/ and cluster/ set it at phase
+/// boundaries.
+void SetCurrentPhase(const char* phase);
+const char* CurrentPhase();
 
 /// Monotonic event counter. Relaxed atomics: totals are read only at report
 /// time, after the threads that wrote them have been joined.
@@ -142,6 +151,13 @@ struct Event {
   std::uint64_t ordinal = 0; ///< per-machine boundary ordinal (1-based)
   std::string detail;        ///< free-form, e.g. the rule that fired
 };
+
+/// Installs (or, with nullptr, removes) a process-wide observer invoked for
+/// every RecordEvent — including events dropped from the bounded report
+/// buffer, so live consumers (the admin server's SSE stream) see the full
+/// firehose. Called on the recording thread with no registry lock held; the
+/// observer must be fast and must not record events itself.
+void SetEventObserver(std::function<void(const Event&)> observer);
 
 /// Aggregated statistics of one trace-span path (see obs/span.h).
 struct SpanStats {

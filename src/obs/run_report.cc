@@ -11,6 +11,7 @@
 #include "obs/mem.h"
 #include "storage/file_io.h"
 #include "storage/fs.h"
+#include "util/json.h"
 
 namespace tg::obs {
 
@@ -117,17 +118,14 @@ struct Cursor {
           case 'r':
             out->push_back('\r');
             break;
-          case 'u': {
-            if (end - p < 4) {
+          case 'u':
+            // Shared with util/json: full UTF-8 decode incl. surrogate pairs,
+            // so multi-byte meta values round-trip through ToJson/FromJson.
+            if (!json::DecodeUnicodeEscape(&p, end, out)) {
               Fail();
               return false;
             }
-            char hex[5] = {p[0], p[1], p[2], p[3], 0};
-            out->push_back(
-                static_cast<char>(std::strtoul(hex, nullptr, 16) & 0xFF));
-            p += 4;
             break;
-          }
           default:
             out->push_back(esc);  // covers \" \\ \/
         }

@@ -1,6 +1,7 @@
 #include "obs/sampler.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <unistd.h>
 
 #include "obs/mem.h"
@@ -18,6 +19,12 @@ namespace {
 std::mutex g_active_mu;
 Sampler* g_active_sampler = nullptr;
 
+/// Process-wide tick fan-out (admin server SSE). Guarded separately from
+/// the sampler's mu_; the listener is invoked with mu_ held, so it must not
+/// call back into the Sampler (documented on SetTickListener).
+std::mutex g_tick_mu;
+std::function<void(const TickSample&)> g_tick_listener;
+
 /// Formats an edge count compactly (1234567 -> "1.23M").
 std::string HumanCount(double v) {
   char buf[32];
@@ -34,6 +41,18 @@ std::string HumanCount(double v) {
 }
 
 }  // namespace
+
+void SetTickListener(std::function<void(const TickSample&)> listener) {
+  std::lock_guard<std::mutex> lock(g_tick_mu);
+  g_tick_listener = std::move(listener);
+}
+
+int SamplerIntervalFromEnv(int default_ms) {
+  const char* text = std::getenv("TG_SAMPLE_INTERVAL_MS");
+  if (text == nullptr || text[0] == '\0') return default_ms;
+  const int ms = std::atoi(text);
+  return ms > 0 ? ms : default_ms;
+}
 
 std::uint64_t CurrentRssBytes() {
 #ifdef __linux__
@@ -64,7 +83,7 @@ void Sampler::Start() {
     running_ = true;
     stop_requested_ = false;
     start_time_ = std::chrono::steady_clock::now();
-    SampleOnce(0.0);
+    SampleOnce(0.0, 0.0);
     thread_ = std::thread(&Sampler::Loop, this);
   }
   std::lock_guard<std::mutex> active_lock(g_active_mu);
@@ -91,23 +110,32 @@ void Sampler::Stop() {
   // terminate the \r progress line cleanly.
   SampleOnce(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            start_time_)
-                 .count());
+                 .count(),
+             0.0);
   if (options_.print_progress) std::fputc('\n', stderr);
 }
 
 void Sampler::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
+  const double interval_s = options_.interval_ms / 1000.0;
+  double last_t = 0.0;  // the Start() sample anchors the first interval
   while (!stop_requested_) {
     cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
                  [this] { return stop_requested_; });
     if (stop_requested_) break;
-    SampleOnce(std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start_time_)
-                   .count());
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+    // Observed tick drift: how far this wakeup landed from nominal. SSE
+    // consumers read the gauge to judge how much to trust tick timestamps
+    // (a thrashing host shows large positive drift).
+    const double drift_ms = (t - last_t - interval_s) * 1000.0;
+    last_t = t;
+    SampleOnce(t, drift_ms);
   }
 }
 
-void Sampler::SampleOnce(double t_seconds) {
+void Sampler::SampleOnce(double t_seconds, double drift_ms) {
   // Caller holds mu_ (Start/Stop) or the Loop's unique_lock.
   // Refresh the mem.* pressure gauges from the live budgets so the tick
   // captures current usage/headroom, not a stale end-of-phase value.
@@ -123,6 +151,7 @@ void Sampler::SampleOnce(double t_seconds) {
   };
 
   Registry& registry = Registry::Global();
+  registry.GetGauge("obs.sampler.drift_ms")->Set(drift_ms);
   double edges = 0.0;
   for (const std::string& name : options_.counters) {
     double value =
@@ -137,20 +166,42 @@ void Sampler::SampleOnce(double t_seconds) {
     std::uint64_t rss = CurrentRssBytes();
     if (rss != 0) record("proc.rss_bytes", static_cast<double>(rss));
   }
-  if (options_.print_progress) PrintProgress(t_seconds, edges);
-}
 
-void Sampler::PrintProgress(double t_seconds, double edges) {
-  // Rate over a sliding ~2s window (falls back to the whole run when young).
+  // Smoothed rate over a sliding ~2s window (whole run while young); shared
+  // by the --progress line and the tick fan-out.
   rate_window_.emplace_back(t_seconds, edges);
   while (rate_window_.size() > 2 &&
          t_seconds - rate_window_.front().first > 2.0) {
     rate_window_.erase(rate_window_.begin());
   }
-  double dt = t_seconds - rate_window_.front().first;
-  double de = edges - rate_window_.front().second;
-  double rate = dt > 0 ? de / dt : 0.0;
+  const double dt = t_seconds - rate_window_.front().first;
+  const double de = edges - rate_window_.front().second;
+  const double rate = dt > 0 ? de / dt : 0.0;
 
+  if (options_.print_progress) PrintProgress(t_seconds, edges, rate);
+
+  std::function<void(const TickSample&)> listener;
+  {
+    std::lock_guard<std::mutex> tick_lock(g_tick_mu);
+    listener = g_tick_listener;
+  }
+  if (listener) {
+    TickSample tick;
+    tick.t_seconds = t_seconds;
+    tick.edges = edges;
+    tick.edges_per_sec = rate;
+    if (options_.progress_target_edges > 0 && rate > 0) {
+      tick.eta_seconds =
+          (static_cast<double>(options_.progress_target_edges) - edges) / rate;
+    }
+    tick.mem_used_bytes = registry.GetGauge("mem.used_bytes")->value();
+    tick.mem_headroom_pct = registry.GetGauge("mem.headroom_pct")->value();
+    tick.drift_ms = drift_ms;
+    listener(tick);
+  }
+}
+
+void Sampler::PrintProgress(double t_seconds, double edges, double rate) {
   char line[160];
   if (options_.progress_target_edges > 0) {
     double target = static_cast<double>(options_.progress_target_edges);
@@ -195,6 +246,12 @@ void Sampler::ExportTo(RunReport* report) const {
   for (const auto& [name, ts] : series_) {
     report->series[name] = ts;
   }
+}
+
+void Sampler::ExportActiveTo(RunReport* report) {
+  std::lock_guard<std::mutex> active_lock(g_active_mu);
+  if (g_active_sampler == nullptr) return;
+  g_active_sampler->ExportTo(report);
 }
 
 }  // namespace tg::obs

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -23,6 +24,30 @@
 #include "obs/run_report.h"
 
 namespace tg::obs {
+
+/// One sampler tick, as fanned out to the process-wide tick listener (see
+/// SetTickListener). The admin server's `GET /events` SSE stream is built
+/// from these: everything a live dashboard needs without touching the
+/// registry itself.
+struct TickSample {
+  double t_seconds = 0.0;        ///< seconds since sampling started
+  double edges = 0.0;            ///< cumulative progress.edges
+  double edges_per_sec = 0.0;    ///< smoothed over a ~2s window
+  double eta_seconds = -1.0;     ///< -1 when no target is known
+  double mem_used_bytes = 0.0;   ///< mem.used_bytes gauge at this tick
+  double mem_headroom_pct = 0.0; ///< mem.headroom_pct gauge at this tick
+  double drift_ms = 0.0;         ///< observed minus nominal tick interval
+};
+
+/// Installs (or, with nullptr, removes) the process-wide tick listener,
+/// invoked from the sampling thread on every tick of every running Sampler.
+/// The listener must not call back into the Sampler.
+void SetTickListener(std::function<void(const TickSample&)> listener);
+
+/// The sampler interval to use when the caller did not pass one explicitly:
+/// TG_SAMPLE_INTERVAL_MS when set and positive, else `default_ms`. Shared
+/// by gen_cli and the bench ObsSession so one env var retunes a whole sweep.
+int SamplerIntervalFromEnv(int default_ms);
 
 struct SamplerOptions {
   int interval_ms = 100;
@@ -79,6 +104,11 @@ class Sampler {
   /// Merges the collected series into `report->series`.
   void ExportTo(RunReport* report) const;
 
+  /// ExportTo against the most recently started, still-live sampler (no-op
+  /// when none is active). The admin server's `GET /report.json` uses this
+  /// to embed the mid-run time series without owning the sampler.
+  static void ExportActiveTo(RunReport* report);
+
   /// Copies the last `max_points` of series `name` from the most recently
   /// started, still-live sampler (no-op leaving *t/*v empty when none is
   /// active or the series does not exist). The OOM context hook uses this
@@ -90,8 +120,10 @@ class Sampler {
 
  private:
   void Loop();
-  void SampleOnce(double t_seconds);
-  void PrintProgress(double t_seconds, double edges);
+  /// `drift_ms`: how far this tick landed from its nominal interval
+  /// (0 for the boundary samples taken in Start/Stop).
+  void SampleOnce(double t_seconds, double drift_ms);
+  void PrintProgress(double t_seconds, double edges, double rate);
 
   SamplerOptions options_;
   mutable std::mutex mu_;

@@ -1,0 +1,193 @@
+#include "obs/serve/admin_server.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/sampler.h"
+#include "obs/serve/prometheus.h"
+#include "obs/trace.h"
+
+namespace tg::obs::serve {
+
+namespace {
+
+constexpr const char* kEventsChannel = "events";
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':  *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// data payload of a `tick` SSE event.
+std::string TickJson(const TickSample& tick) {
+  std::string out = "{";
+  out += "\"t\": " + FormatDouble(tick.t_seconds);
+  out += ", \"edges\": " + FormatDouble(tick.edges);
+  out += ", \"edges_per_sec\": " + FormatDouble(tick.edges_per_sec);
+  out += ", \"eta_seconds\": " + FormatDouble(tick.eta_seconds);
+  out += ", \"mem_used_bytes\": " + FormatDouble(tick.mem_used_bytes);
+  out += ", \"mem_headroom_pct\": " + FormatDouble(tick.mem_headroom_pct);
+  out += ", \"drift_ms\": " + FormatDouble(tick.drift_ms);
+  out += std::string(", \"phase\": ");
+  AppendJsonString(CurrentPhase(), &out);
+  out += "}";
+  return out;
+}
+
+/// data payload of a fault/log SSE event.
+std::string EventJson(const Event& event) {
+  std::string out = "{\"kind\": ";
+  AppendJsonString(event.kind, &out);
+  out += ", \"machine\": " + std::to_string(event.machine);
+  out += ", \"ordinal\": " + std::to_string(event.ordinal);
+  out += ", \"detail\": ";
+  AppendJsonString(event.detail, &out);
+  out += "}";
+  return out;
+}
+
+/// One SSE frame: named event + single-line JSON data.
+std::string SseFrame(const std::string& event, const std::string& data) {
+  return "event: " + event + "\ndata: " + data + "\n\n";
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start(const AdminOptions& options) {
+  Stop();
+  options_ = options;
+  start_time_ = std::chrono::steady_clock::now();
+
+  net::HttpServer::Options http;
+  http.bind_address = options_.bind_address;
+  http.port = options_.port;
+  Status started = server_.Start(
+      http, [this](const net::HttpRequest& request) { return Handle(request); });
+  if (!started.ok()) return started;
+
+  // Feed /events: sampler ticks and obs events (fault schedule, ...) are
+  // fanned out as SSE frames. Broadcast is cheap with no subscribers, so
+  // installing the hooks unconditionally costs nothing on idle servers.
+  SetTickListener([this](const TickSample& tick) {
+    server_.Broadcast(kEventsChannel, SseFrame("tick", TickJson(tick)));
+  });
+  SetEventObserver([this](const Event& event) {
+    const bool fault = event.kind.rfind("fault.", 0) == 0;
+    server_.Broadcast(kEventsChannel,
+                      SseFrame(fault ? "fault" : "event", EventJson(event)));
+  });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!server_.running()) return;
+  SetTickListener(nullptr);
+  SetEventObserver(nullptr);
+  server_.Stop();
+}
+
+int AdminServer::PortFromEnv() {
+  const char* text = std::getenv("TG_ADMIN_PORT");
+  if (text == nullptr || text[0] == '\0') return -1;
+  char* end = nullptr;
+  const long port = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || port < 0 || port > 65535) return -1;
+  return static_cast<int>(port);
+}
+
+net::HttpResponse AdminServer::Handle(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+
+  if (request.path == "/healthz") {
+    char line[128];
+    std::snprintf(line, sizeof(line), "ok phase=%s uptime_s=%.1f\n",
+                  CurrentPhase(), uptime_s);
+    response.body = line;
+    return response;
+  }
+
+  if (request.path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(Registry::Global());
+    return response;
+  }
+
+  if (request.path == "/report.json") {
+    RunReport report = RunReport::Collect(Registry::Global());
+    report.meta = options_.meta;
+    report.meta["live"] = "1";
+    report.meta["phase"] = CurrentPhase();
+    report.meta["uptime_seconds"] = FormatDouble(uptime_s);
+    Sampler::ExportActiveTo(&report);
+    response.content_type = "application/json";
+    response.body = report.ToJson();
+    return response;
+  }
+
+  if (request.path == "/events") {
+    response.content_type = "text/event-stream";
+    response.stream_channel = kEventsChannel;
+    // An immediate hello event so clients know the stream is live before
+    // the first sampler tick.
+    response.body = SseFrame(
+        "hello", std::string("{\"phase\": \"") + CurrentPhase() + "\"}");
+    return response;
+  }
+
+  if (request.path == "/trace") {
+    response.content_type = "application/json";
+    response.headers["Content-Disposition"] =
+        "attachment; filename=\"trilliong_trace.json\"";
+    response.chunked = true;  // trace snapshots can be tens of MB
+    response.body = TraceToChromeJson(DrainTrace());
+    return response;
+  }
+
+  if (request.path == "/") {
+    response.body =
+        "TrillionG admin server\n"
+        "  GET /healthz      liveness + current phase\n"
+        "  GET /metrics      Prometheus text exposition\n"
+        "  GET /report.json  live RunReport snapshot\n"
+        "  GET /events       SSE: sampler ticks + fault events\n"
+        "  GET /trace        Chrome Trace Event snapshot\n";
+    return response;
+  }
+
+  response.status = 404;
+  response.body = "not found (try /)\n";
+  return response;
+}
+
+}  // namespace tg::obs::serve

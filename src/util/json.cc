@@ -1,11 +1,50 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 namespace tg::json {
 
 namespace {
+
+/// Reads exactly four hex digits into *out; false on any non-hex character.
+bool ReadHex4(const char* p, std::uint32_t* out) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = p[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+void AppendUtf8(std::uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
 
 struct Parser {
   const char* p;
@@ -63,14 +102,9 @@ struct Parser {
         case 'f':
           out->push_back('\f');
           break;
-        case 'u': {
-          if (end - p < 4) return false;
-          char hex[5] = {p[0], p[1], p[2], p[3], 0};
-          out->push_back(
-              static_cast<char>(std::strtoul(hex, nullptr, 16) & 0xFF));
-          p += 4;
+        case 'u':
+          if (!DecodeUnicodeEscape(&p, end, out)) return false;
           break;
-        }
         default:
           out->push_back(esc);  // covers \" \\ \/
       }
@@ -137,6 +171,31 @@ struct Parser {
 };
 
 }  // namespace
+
+bool DecodeUnicodeEscape(const char** p, const char* end, std::string* out) {
+  const char* cur = *p;
+  std::uint32_t cp = 0;
+  if (end - cur < 4 || !ReadHex4(cur, &cp)) return false;
+  cur += 4;
+  if (cp >= 0xD800 && cp <= 0xDBFF) {
+    // High surrogate: combine with a following \uDC00..\uDFFF low surrogate;
+    // when it is absent or out of range, substitute U+FFFD and leave the
+    // following escape (if any) to be decoded on its own.
+    std::uint32_t lo = 0;
+    if (end - cur >= 6 && cur[0] == '\\' && cur[1] == 'u' &&
+        ReadHex4(cur + 2, &lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      cur += 6;
+    } else {
+      cp = 0xFFFD;
+    }
+  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+    cp = 0xFFFD;  // lone low surrogate
+  }
+  AppendUtf8(cp, out);
+  *p = cur;
+  return true;
+}
 
 Status Parse(const std::string& text, Value* out) {
   *out = Value();

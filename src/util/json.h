@@ -50,9 +50,19 @@ struct Value {
 
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
 /// garbage rejected). Numbers are stored as doubles; strings support the
-/// standard escapes with \uXXXX truncated to the low byte (our documents are
-/// ASCII).
+/// standard escapes. \uXXXX escapes decode to UTF-8 (surrogate pairs
+/// combine; unpaired surrogates become U+FFFD), so multi-byte content in
+/// paths and plan strings survives a round trip.
 Status Parse(const std::string& text, Value* out);
+
+/// Decodes one \uXXXX escape whose four hex digits start at *p (just past
+/// the 'u'), appends the code point UTF-8-encoded to `out`, and advances
+/// *p past the consumed digits. A UTF-16 high surrogate followed by a
+/// `\uXXXX` low surrogate consumes both and yields the combined code point;
+/// unpaired surrogates yield U+FFFD. Returns false when fewer than four hex
+/// digits are available (the escape is malformed). Shared by the DOM parser
+/// above and obs::RunReport's streaming parser.
+bool DecodeUnicodeEscape(const char** p, const char* end, std::string* out);
 
 }  // namespace tg::json
 

@@ -3,10 +3,14 @@
 // round-trip of the embedded series, and idempotent lifecycle.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -122,6 +126,77 @@ TEST_F(SamplerTest, RssSamplingWorksOnLinux) {
 #else
   EXPECT_EQ(CurrentRssBytes(), 0u);
 #endif
+}
+
+TEST_F(SamplerTest, TickListenerReceivesEveryTickWithDrift) {
+  Counter* edges = GetCounter("progress.edges");
+  edges->Add(500);
+  std::mutex mu;
+  std::vector<TickSample> ticks;
+  SetTickListener([&](const TickSample& tick) {
+    std::lock_guard<std::mutex> lock(mu);
+    ticks.push_back(tick);
+  });
+
+  SamplerOptions options = FastOptions();
+  options.progress_target_edges = 1000;
+  Sampler sampler(options);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  SetTickListener(nullptr);
+
+  std::lock_guard<std::mutex> lock(mu);
+  // t=0 sample + interval ticks + final sample.
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks.front().t_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(ticks.front().drift_ms, 0.0);  // boundary samples: 0
+  for (const TickSample& tick : ticks) {
+    EXPECT_DOUBLE_EQ(tick.edges, 500.0);
+  }
+  // The drift gauge carries the latest tick's drift (the Stop boundary
+  // sample writes 0 last).
+  EXPECT_DOUBLE_EQ(GetGauge("obs.sampler.drift_ms")->value(), 0.0);
+}
+
+TEST_F(SamplerTest, RemovedTickListenerIsNotInvoked) {
+  std::atomic<int> calls{0};
+  SetTickListener([&](const TickSample&) { calls.fetch_add(1); });
+  SetTickListener(nullptr);
+  Sampler sampler(FastOptions());
+  sampler.Start();
+  sampler.Stop();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(SamplerTest, IntervalFromEnvParsesAndValidates) {
+  ::unsetenv("TG_SAMPLE_INTERVAL_MS");
+  EXPECT_EQ(SamplerIntervalFromEnv(20), 20);
+  EXPECT_EQ(SamplerIntervalFromEnv(-1), -1);
+  ::setenv("TG_SAMPLE_INTERVAL_MS", "250", 1);
+  EXPECT_EQ(SamplerIntervalFromEnv(20), 250);
+  ::setenv("TG_SAMPLE_INTERVAL_MS", "0", 1);  // non-positive: fall back
+  EXPECT_EQ(SamplerIntervalFromEnv(20), 20);
+  ::setenv("TG_SAMPLE_INTERVAL_MS", "junk", 1);
+  EXPECT_EQ(SamplerIntervalFromEnv(20), 20);
+  ::unsetenv("TG_SAMPLE_INTERVAL_MS");
+}
+
+TEST_F(SamplerTest, ExportActiveToSnapshotsTheLiveSampler) {
+  RunReport report;
+  Sampler::ExportActiveTo(&report);  // no active sampler: no-op
+  EXPECT_TRUE(report.series.empty());
+
+  Sampler sampler(FastOptions());
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Sampler::ExportActiveTo(&report);
+  EXPECT_TRUE(report.series.count("progress.edges"));
+  sampler.Stop();
+
+  RunReport after;
+  Sampler::ExportActiveTo(&after);  // stopped: deregistered again
+  EXPECT_TRUE(after.series.empty());
 }
 
 TEST_F(SamplerTest, StopIsIdempotentAndDestructorIsSafe) {

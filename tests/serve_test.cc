@@ -1,0 +1,474 @@
+// Tests for the live observability plane: net/http_server.h (bounded
+// request parsing, pipelining, streaming broadcast), obs/serve/prometheus.h
+// (text exposition golden file, label lifting/escaping, histogram buckets),
+// and obs/serve/admin_server.h (endpoint contracts, SSE fan-out, and — the
+// TSan target — concurrent scrapes during an active multi-worker run).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scope_sink.h"
+#include "core/trilliong.h"
+#include "net/http_server.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/sampler.h"
+#include "obs/serve/admin_server.h"
+#include "obs/serve/prometheus.h"
+
+namespace tg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A tiny blocking test client.
+
+/// Connects to 127.0.0.1:port with a receive timeout; -1 on failure.
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends `raw` and reads until the server closes (or the timeout trips).
+std::string Transact(int port, const std::string& raw) {
+  int fd = ConnectTo(port);
+  if (fd < 0) return "";
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::write(fd, raw.data() + sent, raw.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+/// One-liner GET with Connection: close.
+std::string Get(int port, const std::string& path) {
+  return Transact(port, "GET " + path +
+                            " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+}
+
+/// Body of a Content-Length response (empty when malformed).
+std::string BodyOf(const std::string& reply) {
+  const std::size_t split = reply.find("\r\n\r\n");
+  return split == std::string::npos ? "" : reply.substr(split + 4);
+}
+
+net::HttpServer::Options EphemeralOptions() {
+  net::HttpServer::Options options;
+  options.port = 0;
+  return options;
+}
+
+/// Echo-the-path handler used by the protocol tests.
+net::HttpResponse EchoHandler(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  response.body = "path=" + request.path + "\n";
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP protocol layer.
+
+TEST(HttpServerTest, BindsEphemeralPortAndStops) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  const std::string reply = Get(server.port(), "/x");
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(reply), "path=/x\n");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), -1);
+  // Stop is idempotent.
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestLineGets400) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  EXPECT_NE(Transact(server.port(), "GARBAGE\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  // Missing HTTP version token.
+  EXPECT_NE(Transact(server.port(), "GET /x\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  // Header line without a colon.
+  EXPECT_NE(
+      Transact(server.port(), "GET / HTTP/1.1\r\nbad header line\r\n\r\n")
+          .find("HTTP/1.1 400 Bad Request"),
+      std::string::npos);
+}
+
+TEST(HttpServerTest, OversizedRequestGets431) {
+  net::HttpServer server;
+  net::HttpServer::Options options = EphemeralOptions();
+  options.max_request_bytes = 512;
+  ASSERT_TRUE(server.Start(options, EchoHandler).ok());
+  // Never completes the header block, grows past the cap.
+  const std::string flood =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(2048, 'a');
+  EXPECT_NE(Transact(server.port(), flood)
+                .find("HTTP/1.1 431 Request Header Fields Too Large"),
+            std::string::npos);
+}
+
+TEST(HttpServerTest, RequestBodyGets413AndPostGets405) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  EXPECT_NE(
+      Transact(server.port(),
+               "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+          .find("HTTP/1.1 413 Payload Too Large"),
+      std::string::npos);
+  EXPECT_NE(Transact(server.port(), "POST / HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos);
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnswerInOrder) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  // Two requests in one write; the second closes the connection so the
+  // client can read-to-EOF.
+  const std::string reply = Transact(
+      server.port(),
+      "GET /first HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /second HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  const std::size_t first = reply.find("path=/first");
+  const std::size_t second = reply.find("path=/second");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  // Both served over one connection: two status lines in one byte stream.
+  EXPECT_NE(reply.rfind("HTTP/1.1 200 OK"), reply.find("HTTP/1.1 200 OK"));
+}
+
+TEST(HttpServerTest, HeadAdvertisesLengthWithoutBody) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  const std::string reply = Transact(
+      server.port(), "HEAD /abc HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(reply.find("Content-Length: 10"), std::string::npos)
+      << reply;  // "path=/abc\n" is 10 bytes
+  EXPECT_EQ(BodyOf(reply), "");
+}
+
+TEST(HttpServerTest, BroadcastReachesStreamSubscribers) {
+  net::HttpServer server;
+  ASSERT_TRUE(server
+                  .Start(EphemeralOptions(),
+                         [](const net::HttpRequest&) {
+                           net::HttpResponse response;
+                           response.content_type = "text/event-stream";
+                           response.stream_channel = "chan";
+                           response.body = "event: hello\n\n";
+                           return response;
+                         })
+                  .ok());
+  int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /events HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+
+  // Wait for the subscription to register, then broadcast twice.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.SubscriberCount("chan") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.SubscriberCount("chan"), 1u);
+  server.Broadcast("chan", "data: one\n\n");
+  server.Broadcast("chan", "data: two\n\n");
+
+  std::string got;
+  char buf[1024];
+  while (got.find("data: two") == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(got.find("event: hello"), std::string::npos) << got;
+  EXPECT_NE(got.find("data: one"), std::string::npos) << got;
+  EXPECT_NE(got.find("data: two"), std::string::npos) << got;
+  EXPECT_NE(got.find("Transfer-Encoding: chunked"), std::string::npos) << got;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+
+TEST(PrometheusTest, GoldenExposition) {
+  obs::Registry registry;
+  registry.GetCounter("avs.edges_generated")->Add(100);
+  registry.GetGauge("mem.m0.used_bytes")->Set(1024);
+  registry.GetGauge("mem.m1.used_bytes")->Set(2048);
+  registry.GetGauge("mem.tag.scope buffer.peak_bytes")->Set(512);
+  registry.SetMachineStat(0, "cpu_seconds", 1.5);
+  obs::Histogram* h = registry.GetHistogram("scope.bytes");
+  h->Observe(0);  // bucket 0: exactly the zeros
+  h->Observe(1);  // bucket 1: le="1"
+  h->Observe(5);  // bucket 3: values 4..7, le="7"
+
+  const std::string expected =
+      "# TYPE tg_avs_edges_generated counter\n"
+      "tg_avs_edges_generated 100\n"
+      "# TYPE tg_machine_cpu_seconds gauge\n"
+      "tg_machine_cpu_seconds{machine=\"m0\"} 1.5\n"
+      "# TYPE tg_mem_tag_peak_bytes gauge\n"
+      "tg_mem_tag_peak_bytes{tag=\"scope buffer\"} 512\n"
+      "# TYPE tg_mem_used_bytes gauge\n"
+      "tg_mem_used_bytes{machine=\"m0\"} 1024\n"
+      "tg_mem_used_bytes{machine=\"m1\"} 2048\n"
+      "# TYPE tg_scope_bytes histogram\n"
+      "tg_scope_bytes_bucket{le=\"0\"} 1\n"
+      "tg_scope_bytes_bucket{le=\"1\"} 2\n"
+      "tg_scope_bytes_bucket{le=\"3\"} 2\n"
+      "tg_scope_bytes_bucket{le=\"7\"} 3\n"
+      "tg_scope_bytes_bucket{le=\"+Inf\"} 3\n"
+      "tg_scope_bytes_sum 6\n"
+      "tg_scope_bytes_count 3\n";
+  EXPECT_EQ(obs::serve::RenderPrometheus(registry), expected);
+}
+
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(obs::serve::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::serve::EscapeLabelValue("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd");
+  obs::Registry registry;
+  registry.GetGauge("mem.tag.odd\"tag.peak_bytes")->Set(1);
+  EXPECT_NE(obs::serve::RenderPrometheus(registry).find(
+                "tg_mem_tag_peak_bytes{tag=\"odd\\\"tag\"} 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, DottedNamesMapToUnderscores) {
+  obs::Registry registry;
+  registry.GetCounter("fault.injected_crashes")->Add(3);
+  const std::string text = obs::serve::RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE tg_fault_injected_crashes counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tg_fault_injected_crashes 3\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admin server endpoints.
+
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    obs::Registry::Global().Reset();
+    obs::SetCurrentPhase("idle");
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::Registry::Global().Reset();
+    obs::SetCurrentPhase(nullptr);
+  }
+};
+
+TEST_F(AdminServerTest, HealthzReportsPhase) {
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start({}).ok());
+  obs::SetCurrentPhase("generate");
+  const std::string reply = Get(admin.port(), "/healthz");
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(BodyOf(reply).find("ok phase=generate uptime_s="),
+            std::string::npos)
+      << reply;
+}
+
+TEST_F(AdminServerTest, MetricsServesLiveRegistry) {
+  obs::GetCounter("progress.edges")->Add(12345);
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start({}).ok());
+  const std::string reply = Get(admin.port(), "/metrics");
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(BodyOf(reply).find("tg_progress_edges 12345\n"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, ReportJsonRoundTripsWithLiveMeta) {
+  obs::GetCounter("avs.edges_generated")->Add(7);
+  obs::serve::AdminOptions options;
+  options.meta["scale"] = "20";
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start(options).ok());
+  const std::string body = BodyOf(Get(admin.port(), "/report.json"));
+  obs::RunReport report;
+  ASSERT_TRUE(obs::RunReport::FromJson(body, &report).ok()) << body;
+  EXPECT_EQ(report.meta["live"], "1");
+  EXPECT_EQ(report.meta["scale"], "20");
+  EXPECT_EQ(report.meta["phase"], "idle");
+  EXPECT_EQ(report.counters["avs.edges_generated"], 7u);
+}
+
+TEST_F(AdminServerTest, TraceAndIndexAndNotFound) {
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start({}).ok());
+  EXPECT_NE(Get(admin.port(), "/trace").find("traceEvents"),
+            std::string::npos);
+  EXPECT_NE(BodyOf(Get(admin.port(), "/")).find("GET /metrics"),
+            std::string::npos);
+  EXPECT_NE(Get(admin.port(), "/no-such").find("HTTP/1.1 404 Not Found"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, SseStreamsTicksAndFaultEvents) {
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start({}).ok());
+
+  int fd = ConnectTo(admin.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /events HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+
+  // Drive ticks from a fast sampler.
+  obs::SamplerOptions sampler_options;
+  sampler_options.interval_ms = 2;
+  sampler_options.sample_rss = false;
+  sampler_options.emit_trace_counters = false;
+  obs::Sampler sampler(sampler_options);
+  sampler.Start();
+
+  // Inject the structured event only once the hello frame proves the
+  // subscription is registered — a broadcast before that is (correctly)
+  // dropped, there is no replay for one-shot events.
+  bool event_sent = false;
+  std::string got;
+  char buf[2048];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((!event_sent || got.find("event: tick") == std::string::npos ||
+          got.find("event: fault") == std::string::npos) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+    if (!event_sent && got.find("event: hello") != std::string::npos) {
+      obs::Event event;
+      event.kind = "fault.crash";
+      event.machine = 1;
+      event.ordinal = 3;
+      event.detail = "m1:crash@chunk=3";
+      obs::Registry::Global().RecordEvent(event);
+      event_sent = true;
+    }
+  }
+  sampler.Stop();
+  ::close(fd);
+
+  EXPECT_NE(got.find("event: hello"), std::string::npos) << got;
+  EXPECT_NE(got.find("event: tick"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"edges_per_sec\""), std::string::npos) << got;
+  EXPECT_NE(got.find("event: fault"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"m1:crash@chunk=3\""), std::string::npos) << got;
+}
+
+// The TSan target: scrape every endpoint from several client threads while a
+// multi-worker generation (plus a live sampler) is running. Fails under
+// -fsanitize=thread if any snapshot path races the writers.
+TEST_F(AdminServerTest, ConcurrentScrapesDuringActiveRun) {
+  obs::serve::AdminServer admin;
+  ASSERT_TRUE(admin.Start({}).ok());
+  const int port = admin.port();
+
+  obs::SamplerOptions sampler_options;
+  sampler_options.interval_ms = 1;
+  sampler_options.sample_rss = false;
+  obs::Sampler sampler(sampler_options);
+  sampler.Start();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> scrapers;
+  const char* paths[] = {"/metrics", "/report.json", "/healthz"};
+  for (const char* path : paths) {
+    scrapers.emplace_back([port, path, &done] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::string reply = Get(port, path);
+        EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos) << path;
+      }
+    });
+  }
+
+  core::TrillionGConfig config;
+  config.scale = 16;
+  config.edge_factor = 8;
+  config.num_workers = 4;
+  std::uint64_t total_edges = 0;
+  std::mutex total_mu;
+  const core::GenerateStats stats = core::Generate(
+      config, [&](int, VertexId, VertexId) -> std::unique_ptr<core::ScopeSink> {
+        class Locked : public core::ScopeSink {
+         public:
+          Locked(std::uint64_t* total, std::mutex* mu)
+              : total_(total), mu_(mu) {}
+          void ConsumeScope(VertexId, const VertexId*,
+                            std::size_t n) override {
+            std::lock_guard<std::mutex> lock(*mu_);
+            *total_ += n;
+          }
+
+         private:
+          std::uint64_t* total_;
+          std::mutex* mu_;
+        };
+        return std::make_unique<Locked>(&total_edges, &total_mu);
+      });
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : scrapers) t.join();
+  sampler.Stop();
+
+  EXPECT_EQ(stats.num_edges, total_edges);
+  // The post-run scrape agrees with the registry's final counter. The
+  // needle is newline-anchored so it cannot match the "# TYPE" line.
+  const std::string text = BodyOf(Get(port, "/metrics"));
+  const std::string needle = "\ntg_avs_edges_generated ";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos) << text;
+  EXPECT_EQ(std::strtoull(text.c_str() + at + needle.size(), nullptr, 10),
+            stats.num_edges);
+}
+
+}  // namespace
+}  // namespace tg

@@ -6,10 +6,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/run_report.h"
 #include "rng/random.h"
 #include "util/common.h"
 #include "util/flags.h"
 #include "util/flat_set64.h"
+#include "util/json.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
 
@@ -355,6 +357,67 @@ TEST(EdgeTest, ComparisonAndEquality) {
   EXPECT_EQ(a, (Edge{1, 2}));
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
+}
+
+// --- \uXXXX escape decoding (util/json.h). Previously the escape was
+// truncated to its low byte, corrupting any non-ASCII content; now it
+// UTF-8-encodes the code point, combining surrogate pairs.
+
+TEST(JsonUnicodeTest, BasicMultilingualPlaneEscapes) {
+  json::Value doc;
+  ASSERT_TRUE(json::Parse("\"caf\\u00e9\"", &doc).ok());
+  EXPECT_EQ(doc.str, "caf\xc3\xa9");  // é as two UTF-8 bytes
+  ASSERT_TRUE(json::Parse("\"\\u203d\"", &doc).ok());
+  EXPECT_EQ(doc.str, "\xe2\x80\xbd");  // ‽, three UTF-8 bytes
+  // ASCII escapes still decode to single bytes.
+  ASSERT_TRUE(json::Parse("\"\\u0041\\u000a\"", &doc).ok());
+  EXPECT_EQ(doc.str, "A\n");
+}
+
+TEST(JsonUnicodeTest, SurrogatePairsCombine) {
+  json::Value doc;
+  // U+1F600 (😀) = \ud83d\ude00 -> four UTF-8 bytes.
+  ASSERT_TRUE(json::Parse("\"\\ud83d\\ude00\"", &doc).ok());
+  EXPECT_EQ(doc.str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonUnicodeTest, LoneSurrogatesBecomeReplacementCharacter) {
+  const std::string replacement = "\xef\xbf\xbd";  // U+FFFD
+  json::Value doc;
+  ASSERT_TRUE(json::Parse("\"\\ud83d\"", &doc).ok());  // unpaired high
+  EXPECT_EQ(doc.str, replacement);
+  ASSERT_TRUE(json::Parse("\"\\ude00\"", &doc).ok());  // unpaired low
+  EXPECT_EQ(doc.str, replacement);
+  // High surrogate followed by a non-surrogate escape: U+FFFD, then the
+  // second escape decodes on its own.
+  ASSERT_TRUE(json::Parse("\"\\ud83dx\"", &doc).ok());
+  EXPECT_EQ(doc.str, replacement + "x");
+}
+
+TEST(JsonUnicodeTest, MalformedEscapesAreRejected) {
+  json::Value doc;
+  EXPECT_FALSE(json::Parse("\"\\u12\"", &doc).ok());    // too short
+  EXPECT_FALSE(json::Parse("\"\\uzzzz\"", &doc).ok());  // not hex
+}
+
+TEST(JsonUnicodeTest, RunReportMetaRoundTripsMultiByteContent) {
+  // RunReport's writer passes multi-byte UTF-8 through verbatim and escapes
+  // control characters as \uXXXX; both parsers must reproduce the original.
+  obs::RunReport report;
+  report.meta["path"] = "caf\xc3\xa9/run\t1";
+  report.meta["emoji"] = "\xf0\x9f\x98\x80";
+  const std::string text = report.ToJson();
+
+  obs::RunReport back;
+  ASSERT_TRUE(obs::RunReport::FromJson(text, &back).ok());
+  EXPECT_EQ(back.meta, report.meta);
+
+  json::Value doc;
+  ASSERT_TRUE(json::Parse(text, &doc).ok());
+  const json::Value* meta = doc.Find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->Find("path")->StringOr(""), "caf\xc3\xa9/run\t1");
+  EXPECT_EQ(meta->Find("emoji")->StringOr(""), "\xf0\x9f\x98\x80");
 }
 
 }  // namespace
