@@ -210,23 +210,25 @@ void HttpServer::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
+    // Wake poll() so the loop observes the stop flag promptly. Written
+    // under mu_ so it cannot race with the fd teardown below (Broadcast
+    // writes the wake pipe under mu_ for the same reason).
+    char byte = 'q';
+    (void)!::write(wake_fds_[1], &byte, 1);
   }
-  // Wake poll() so the loop observes the stop flag promptly.
-  char byte = 'q';
-  (void)!::write(wake_fds_[1], &byte, 1);
   thread_.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& conn : conns_) ::close(conn->fd);
     conns_.clear();
     running_ = false;
+    ::close(listen_fd_);
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+    listen_fd_ = -1;
+    wake_fds_[0] = wake_fds_[1] = -1;
+    port_ = -1;
   }
-  ::close(listen_fd_);
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  listen_fd_ = -1;
-  wake_fds_[0] = wake_fds_[1] = -1;
-  port_ = -1;
 }
 
 bool HttpServer::running() const {
@@ -237,18 +239,18 @@ bool HttpServer::running() const {
 int HttpServer::port() const { return port_; }
 
 void HttpServer::Broadcast(const std::string& channel, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
   bool any = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    for (auto& conn : conns_) {
-      if (conn->channel == channel && !conn->broken) {
-        AppendChunk(data, &conn->out);
-        any = true;
-      }
+  for (auto& conn : conns_) {
+    if (conn->channel == channel && !conn->broken) {
+      AppendChunk(data, &conn->out);
+      any = true;
     }
   }
   if (any) {
+    // The wake pipe is non-blocking, so writing under mu_ cannot stall;
+    // holding the lock keeps the fd alive against a concurrent Stop().
     char byte = 'b';
     (void)!::write(wake_fds_[1], &byte, 1);
   }
@@ -335,7 +337,9 @@ void HttpServer::Loop() {
         }
         if (!conn->broken && !ServiceInput(conn)) conn->broken = true;
       }
-      if (!conn->broken && !conn->out.empty()) {
+      if (!conn->broken) {
+        // Snapshot the out buffer under mu_ (Broadcast appends to it from
+        // other threads); never touch conn->out without the lock.
         std::string pending;
         {
           std::lock_guard<std::mutex> lock(mu_);
@@ -385,6 +389,14 @@ bool HttpServer::ServiceInput(Connection* conn) {
     std::string in_snapshot;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // A connection subscribed to a stream channel is write-only from here
+      // on: discard any further client bytes instead of parsing them, so a
+      // pipelined request cannot interleave a full HTTP response into the
+      // middle of the open chunked SSE stream.
+      if (!conn->channel.empty()) {
+        conn->in.clear();
+        return true;
+      }
       in_snapshot = conn->in;
     }
     const std::size_t header_end = in_snapshot.find("\r\n\r\n");
@@ -426,7 +438,13 @@ bool HttpServer::ServiceInput(Connection* conn) {
       response.body = std::string("handler error: ") + e.what() + "\n";
     }
     Respond(conn, request, response);
-    if (conn->close_after_write || !conn->channel.empty()) return true;
+    if (conn->close_after_write) {
+      // The connection closes once this response flushes; drop any
+      // pipelined tail rather than answering past the close.
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->in.clear();
+      return true;
+    }
   }
 }
 
@@ -488,6 +506,9 @@ void HttpServer::RespondError(Connection* conn, int status,
   std::lock_guard<std::mutex> lock(mu_);
   conn->out += out;
   conn->close_after_write = true;
+  // Discard the offending input so a later POLLIN cannot re-parse the same
+  // prefix and queue a duplicate error response.
+  conn->in.clear();
 }
 
 }  // namespace tg::net

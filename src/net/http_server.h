@@ -15,6 +15,7 @@
 #ifndef TRILLIONG_NET_HTTP_SERVER_H_
 #define TRILLIONG_NET_HTTP_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -107,11 +108,14 @@ class HttpServer {
  private:
   struct Connection {
     int fd = -1;
-    std::string in;         ///< bytes received, not yet parsed
-    std::string out;        ///< bytes to send
-    std::string channel;    ///< non-empty: streaming subscriber
-    bool close_after_write = false;
-    bool broken = false;
+    std::string in;         ///< bytes received, not yet parsed; guarded by mu_
+    std::string out;        ///< bytes to send; guarded by mu_
+    std::string channel;    ///< non-empty: streaming subscriber; guarded by mu_
+    bool close_after_write = false;  ///< service thread only
+    /// Atomic because the service thread marks connections broken outside
+    /// mu_ (read/write loops) while Broadcast/SubscriberCount read it under
+    /// mu_ from other threads.
+    std::atomic<bool> broken{false};
   };
 
   void Loop();
@@ -124,7 +128,7 @@ class HttpServer {
 
   Handler handler_;
   Options options_;
-  mutable std::mutex mu_;  ///< guards conns_ and wakes
+  mutable std::mutex mu_;  ///< guards conns_, their buffers, and the wake pipe
   std::vector<std::unique_ptr<Connection>> conns_;
   std::thread thread_;
   int listen_fd_ = -1;

@@ -1,5 +1,6 @@
 #include "obs/serve/admin_server.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,14 +44,30 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
-/// data payload of a `tick` SSE event.
+/// Counter-like quantities (cumulative edges, byte totals, ETAs) must not
+/// lose precision at trillion scale, where %.6g would round to ~1e6
+/// granularity and disagree with the exact counters on /metrics and
+/// /report.json. Integral values below 2^53 render as exact integers;
+/// anything else gets full round-trip precision.
+std::string FormatExact(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// data payload of a `tick` SSE event. Cumulative/absolute quantities use
+/// FormatExact; smoothed rates and percentages keep the compact %.6g.
 std::string TickJson(const TickSample& tick) {
   std::string out = "{";
-  out += "\"t\": " + FormatDouble(tick.t_seconds);
-  out += ", \"edges\": " + FormatDouble(tick.edges);
+  out += "\"t\": " + FormatExact(tick.t_seconds);
+  out += ", \"edges\": " + FormatExact(tick.edges);
   out += ", \"edges_per_sec\": " + FormatDouble(tick.edges_per_sec);
-  out += ", \"eta_seconds\": " + FormatDouble(tick.eta_seconds);
-  out += ", \"mem_used_bytes\": " + FormatDouble(tick.mem_used_bytes);
+  out += ", \"eta_seconds\": " + FormatExact(tick.eta_seconds);
+  out += ", \"mem_used_bytes\": " + FormatExact(tick.mem_used_bytes);
   out += ", \"mem_headroom_pct\": " + FormatDouble(tick.mem_headroom_pct);
   out += ", \"drift_ms\": " + FormatDouble(tick.drift_ms);
   out += std::string(", \"phase\": ");

@@ -231,6 +231,79 @@ TEST(HttpServerTest, BroadcastReachesStreamSubscribers) {
   EXPECT_NE(got.find("Transfer-Encoding: chunked"), std::string::npos) << got;
 }
 
+TEST(HttpServerTest, SubscribedStreamIgnoresPipelinedRequests) {
+  net::HttpServer server;
+  ASSERT_TRUE(server
+                  .Start(EphemeralOptions(),
+                         [](const net::HttpRequest&) {
+                           net::HttpResponse response;
+                           response.content_type = "text/event-stream";
+                           response.stream_channel = "chan";
+                           response.body = "event: hello\n\n";
+                           return response;
+                         })
+                  .ok());
+  int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /events HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.SubscriberCount("chan") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.SubscriberCount("chan"), 1u);
+
+  // A request pipelined after the subscription must be discarded, not
+  // answered into the middle of the open chunked stream.
+  const std::string late = "GET /again HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, late.data(), late.size()),
+            static_cast<ssize_t>(late.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Broadcast("chan", "data: after\n\n");
+
+  std::string got;
+  char buf[1024];
+  while (got.find("data: after") == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(got.find("data: after"), std::string::npos) << got;
+  // Exactly one status line in the stream: the subscription's own 200.
+  EXPECT_EQ(got.find("HTTP/1.1"), got.rfind("HTTP/1.1")) << got;
+}
+
+TEST(HttpServerTest, ErrorResponseIsQueuedOnlyOnce) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(EphemeralOptions(), EchoHandler).ok());
+  int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string bad = "GARBAGE\r\n\r\n";
+  ASSERT_EQ(::write(fd, bad.data(), bad.size()),
+            static_cast<ssize_t>(bad.size()));
+  // More bytes on the same connection: with the malformed prefix discarded
+  // by the first 400, they must not provoke a second error response.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::string more = "MORE\r\n\r\n";
+  (void)!::write(fd, more.data(), more.size());  // may race the server close
+  std::string reply;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t first = reply.find("HTTP/1.1 400");
+  ASSERT_NE(first, std::string::npos) << reply;
+  EXPECT_EQ(reply.find("HTTP/1.1 400", first + 1), std::string::npos) << reply;
+}
+
 // ---------------------------------------------------------------------------
 // Prometheus exposition.
 
