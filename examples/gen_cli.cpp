@@ -29,6 +29,7 @@
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "rng/lane_rng.h"
+#include "storage/async_writer.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
         "usage: %s --out=PREFIX [--scale=N] [--edge_factor=N] "
         "[--format=tsv|adj6|csr6] [--workers=N] [--noise=X] [--seed=N]\n"
         "       [--precision=double|dd] [--direction=out|in]\n"
-        "       [--chunks_per_worker=N]\n"
+        "       [--chunks_per_worker=N] [--io=sync|async[,uring|,nouring]]\n"
         "       [--portable_kernel] [--no_prefix_tables]\n"
         "       [--a=0.57 --b=0.19 --c=0.19 --d=0.05]\n"
         "       [--metrics_json=PATH] [--metrics_prom=PATH] "
@@ -120,6 +121,12 @@ int main(int argc, char** argv) {
         "ephemeral port, printed at startup. The server only reads\n"
         "observability state: output files are bit-identical with it on or\n"
         "off.\n"
+        "--io selects the writer transport (docs/PERFORMANCE.md \"The I/O\n"
+        "path\"): 'sync' is the blocking stdio writer, 'async' (the default)\n"
+        "double-buffers flushes onto a writer thread, with io_uring\n"
+        "submission when the kernel supports it ('async,nouring' forces the\n"
+        "pwrite fallback). Output files are bit-identical in every mode;\n"
+        "TG_IO in the environment is honored when the flag is absent.\n"
         "--chunks_per_worker sets the work-stealing granularity (default "
         "16;\n1 = static one-range-per-worker schedule; output is "
         "bit-identical\nfor any value; TG_CHUNKS_PER_WORKER in the "
@@ -160,6 +167,20 @@ int main(int argc, char** argv) {
   }
   config.determiner.use_prefix_tables =
       !flags.GetBool("no_prefix_tables", false);
+
+  // Writer transport (docs/PERFORMANCE.md): the flag overrides TG_IO, which
+  // GlobalIoConfig() already consulted; every writer constructed below goes
+  // through MakeFileWriter() and sees this choice.
+  if (flags.Has("io")) {
+    tg::storage::IoConfig io_config;
+    const std::string io_spec = flags.GetString("io", "async");
+    tg::Status io_status = tg::storage::ParseIoSpec(io_spec, &io_config);
+    if (!io_status.ok()) {
+      std::fprintf(stderr, "bad --io: %s\n", io_status.ToString().c_str());
+      return 1;
+    }
+    tg::storage::GlobalIoConfig() = io_config;
+  }
 
   const std::string format = flags.GetString("format", "adj6");
   const std::string out = flags.GetString("out", "");
@@ -307,6 +328,8 @@ int main(int argc, char** argv) {
     admin_options.meta["workers"] = std::to_string(config.num_workers);
     admin_options.meta["seed"] = std::to_string(config.rng_seed);
     admin_options.meta["format"] = format;
+    admin_options.meta["io"] =
+        tg::storage::IoSpecString(tg::storage::GlobalIoConfig());
     admin_options.meta["out"] = out;
     tg::Status admin_status = admin.Start(admin_options);
     if (!admin_status.ok()) {
@@ -428,6 +451,7 @@ int main(int argc, char** argv) {
     report.meta["noise"] = std::to_string(config.noise);
     report.meta["seed"] = std::to_string(config.rng_seed);
     report.meta["format"] = format;
+    report.meta["io"] = tg::storage::IoSpecString(tg::storage::GlobalIoConfig());
     report.meta["precision"] =
         config.precision == tg::core::Precision::kDoubleDouble ? "dd"
                                                                : "double";

@@ -2,39 +2,54 @@
 
 #include "format/resume_token.h"
 #include "obs/metrics.h"
+#include "storage/async_writer.h"
 
 namespace tg::format {
 
-Adj6Writer::Adj6Writer(const std::string& path) { writer_.Open(path); }
+Adj6Writer::Adj6Writer(const std::string& path)
+    : writer_(storage::MakeFileWriter()) {
+  writer_->Open(path);
+}
 
 Adj6Writer::Adj6Writer(const std::string& path,
-                       const core::ResumeFrom& resume) {
+                       const core::ResumeFrom& resume)
+    : writer_(storage::MakeFileWriter()) {
   std::uint64_t bytes = 0;
   if (!TokenField(resume.state, "bytes", &bytes)) {
-    writer_.OpenForResume("", 0);  // sticky error: malformed token
+    writer_->OpenForResume("", 0);  // sticky error: malformed token
     return;
   }
-  writer_.OpenForResume(path, bytes);
+  writer_->OpenForResume(path, bytes);
 }
 
 Status Adj6Writer::CommitState(std::string* token) {
-  Status s = writer_.FlushToOs();
+  Status s = writer_->FlushToOs();
   if (!s.ok()) return s;
-  *token = "bytes=" + std::to_string(writer_.bytes_written());
+  *token = "bytes=" + std::to_string(writer_->bytes_written());
   return s;
 }
 
 void Adj6Writer::ConsumeScope(VertexId u, const VertexId* adj,
                               std::size_t n) {
-  if (n == 0 || !writer_.status().ok()) return;
-  writer_.Append48(u);
-  writer_.Append48(n);
-  for (std::size_t i = 0; i < n; ++i) writer_.Append48(adj[i]);
+  if (n == 0 || !writer_->status().ok()) return;
+  writer_->Append48(u);
+  writer_->Append48(n);
+  VertexId mask = u | n;
+  for (std::size_t i = 0; i < n; ++i) {
+    mask |= adj[i];
+    writer_->Append48(adj[i]);
+  }
+  // One range check per scope instead of one per Append48 — the OR above is
+  // free next to the append, and an out-of-range id is fatal either way.
+  TG_CHECK_MSG(mask < (std::uint64_t{1} << 48),
+               "ADJ6 record for vertex " << u
+                                         << " holds a value that does not fit "
+                                            "in 6 bytes");
 }
 
 void Adj6Writer::Finish() {
-  writer_.Close();
-  obs::GetCounter("format.adj6.bytes_written")->Add(writer_.bytes_written());
+  writer_->Close();
+  obs::GetCounter("format.adj6.bytes_written")->Add(writer_->bytes_written());
 }
 
 Adj6Reader::Adj6Reader(const std::string& path) {

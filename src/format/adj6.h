@@ -2,6 +2,7 @@
 #define TRILLIONG_FORMAT_ADJ6_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,11 +35,11 @@ class Adj6Writer : public core::ResumableSink {
   /// resume state.
   Status CommitState(std::string* token) override;
 
-  const Status& status() const { return writer_.status(); }
-  std::uint64_t bytes_written() const { return writer_.bytes_written(); }
+  const Status& status() const { return writer_->status(); }
+  std::uint64_t bytes_written() const { return writer_->bytes_written(); }
 
  private:
-  storage::FileWriter writer_;
+  std::unique_ptr<storage::FileWriterBase> writer_;
 };
 
 /// Streaming ADJ6 reader.

@@ -5,6 +5,7 @@
 
 #include "format/resume_token.h"
 #include "obs/metrics.h"
+#include "storage/async_writer.h"
 #include "storage/file_io.h"
 
 namespace tg::format {
@@ -23,29 +24,38 @@ std::uint64_t DecodeU64(const unsigned char* in) {
   return v;
 }
 
+void AppendU64(std::vector<unsigned char>* out, std::uint64_t value) {
+  unsigned char tmp[8];
+  EncodeU64(value, tmp);
+  out->insert(out->end(), tmp, tmp + 8);
+}
+
 }  // namespace
 
 Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi)
-    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo), sidecar_next_(lo) {
+    : writer_(storage::MakeFileWriter()),
+      path_(path),
+      lo_(lo),
+      hi_(hi),
+      next_vertex_(lo),
+      sidecar_next_(lo) {
   TG_CHECK(hi >= lo);
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    status_ = Status::IoError("cannot open for write: " + path);
-    return;
-  }
   offsets_.assign(hi - lo + 1, 0);
+  if (!writer_->Open(path).ok()) return;
   // Reserve the header + offsets region; it is rewritten in Finish() once
   // the offsets are known, so edges can stream sequentially after it.
   std::vector<char> zeros(HeaderBytes(), 0);
-  if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
-    status_ = Status::IoError("write failed: " + path);
-  }
-  bytes_written_ = zeros.size();
+  writer_->Append(zeros.data(), zeros.size());
 }
 
 Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi,
                        const core::ResumeFrom& resume)
-    : path_(path), lo_(lo), hi_(hi), next_vertex_(lo), sidecar_next_(lo) {
+    : writer_(storage::MakeFileWriter()),
+      path_(path),
+      lo_(lo),
+      hi_(hi),
+      next_vertex_(lo),
+      sidecar_next_(lo) {
   TG_CHECK(hi >= lo);
   resumable_ = true;
   offsets_.assign(hi - lo + 1, 0);
@@ -92,16 +102,7 @@ Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi,
         "CSR6 sidecar degrees do not sum to committed edges: " + sidecar_path);
     return;
   }
-  file_ = std::fopen(path.c_str(), "r+b");
-  if (file_ == nullptr) {
-    status_ = Status::IoError("cannot open for resume: " + path);
-    return;
-  }
-  if (::ftruncate(fileno(file_), static_cast<off_t>(bytes)) != 0 ||
-      std::fseek(file_, 0, SEEK_END) != 0) {
-    status_ = Status::IoError("cannot truncate for resume: " + path);
-    return;
-  }
+  if (!writer_->OpenForResume(path, bytes).ok()) return;
   // Trim uncommitted sidecar entries too, so this process appends from a
   // clean record boundary.
   sidecar_ = std::fopen(sidecar_path.c_str(), "r+b");
@@ -115,7 +116,6 @@ Csr6Writer::Csr6Writer(const std::string& path, VertexId lo, VertexId hi,
   next_vertex_ = next;
   sidecar_next_ = next;
   num_edges_ = edges;
-  bytes_written_ = bytes;
 }
 
 Csr6Writer::~Csr6Writer() {
@@ -124,11 +124,7 @@ Csr6Writer::~Csr6Writer() {
       // Interrupted mid-run: do NOT finalize — a partial shard with a valid
       // header would masquerade as complete. Flush raw bytes (a resuming
       // process truncates back to the last committed token) and close.
-      if (file_ != nullptr) {
-        FlushBuffer();
-        std::fclose(file_);
-        file_ = nullptr;
-      }
+      writer_->Close();
     } else {
       Finish();
     }
@@ -139,28 +135,11 @@ Csr6Writer::~Csr6Writer() {
   }
 }
 
-void Csr6Writer::FlushBuffer() {
-  if (buffer_.empty()) return;
-  if (status_.ok()) {
-    const storage::IoFailureHook& hook = storage::IoFailureHookRef();
-    if (hook && hook(path_)) {
-      status_ = Status::IoError("injected I/O failure: " + path_);
-    } else if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-               buffer_.size()) {
-      status_ = Status::IoError("write failed: " + path_);
-    }
-  }
-  buffer_.clear();
-}
-
 Status Csr6Writer::CommitState(std::string* token) {
   resumable_ = true;
-  if (!status_.ok()) return status_;
-  FlushBuffer();
-  if (status_.ok() && std::fflush(file_) != 0) {
-    status_ = Status::IoError("flush failed: " + path_);
-  }
-  if (!status_.ok()) return status_;
+  if (!status().ok()) return status();
+  Status s = writer_->FlushToOs();
+  if (!s.ok()) return s;
   const std::string sidecar_path = SidecarPath(path_);
   if (sidecar_ == nullptr) {
     sidecar_ = std::fopen(sidecar_path.c_str(), "wb");
@@ -182,70 +161,52 @@ Status Csr6Writer::CommitState(std::string* token) {
     return status_;
   }
   sidecar_next_ = next_vertex_;
-  *token = "bytes=" + std::to_string(bytes_written_) +
+  *token = "bytes=" + std::to_string(writer_->bytes_written()) +
            ",next=" + std::to_string(next_vertex_) +
            ",edges=" + std::to_string(num_edges_);
-  return status_;
-}
-
-void Csr6Writer::Put48(std::uint64_t value) {
-  TG_CHECK_MSG(value < (std::uint64_t{1} << 48),
-               "value does not fit in 6 bytes: " << value);
-  for (int i = 0; i < 6; ++i) {
-    buffer_.push_back(static_cast<unsigned char>((value >> (8 * i)) & 0xFF));
-  }
-  if (buffer_.size() >= (1u << 20)) FlushBuffer();
-  bytes_written_ += 6;
-}
-
-void Csr6Writer::Put64(std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    buffer_.push_back(static_cast<unsigned char>((value >> (8 * i)) & 0xFF));
-  }
-  if (buffer_.size() >= (1u << 20)) FlushBuffer();
+  return status();
 }
 
 void Csr6Writer::ConsumeScope(VertexId u, const VertexId* adj,
                               std::size_t n) {
-  if (!status_.ok()) return;  // dead disk: stop sorting and encoding too
+  if (!status().ok()) return;  // dead disk: stop sorting and encoding too
   TG_CHECK_MSG(u >= next_vertex_ && u < hi_,
                "CSR6 scopes must arrive in increasing order within [lo, hi)");
   next_vertex_ = u + 1;
   offsets_[u - lo_ + 1] = n;  // degree for now; prefix-summed in Finish()
   sorted_.assign(adj, adj + n);
   std::sort(sorted_.begin(), sorted_.end());
-  for (VertexId v : sorted_) Put48(v);
+  // One range check per scope (the max neighbor, free after the sort)
+  // instead of one per Append48 in the hot loop.
+  TG_CHECK_MSG(sorted_.empty() || sorted_.back() < (std::uint64_t{1} << 48),
+               "CSR6 adjacency of vertex "
+                   << u << " holds a value that does not fit in 6 bytes: "
+                   << (sorted_.empty() ? 0 : sorted_.back()));
+  for (VertexId v : sorted_) writer_->Append48(v);
   num_edges_ += n;
 }
 
 void Csr6Writer::Finish() {
   if (finished_) return;
   finished_ = true;
-  if (file_ == nullptr) return;
-  FlushBuffer();  // remaining edge bytes
+  if (!writer_->is_open()) return;  // construction failed; status() has why
   // Degrees -> offsets.
   for (std::size_t i = 1; i < offsets_.size(); ++i) {
     offsets_[i] += offsets_[i - 1];
   }
-  if (status_.ok() && std::fseek(file_, 0, SEEK_SET) != 0) {
-    status_ = Status::IoError("seek failed: " + path_);
+  if (status().ok()) {
+    std::vector<unsigned char> header;
+    header.reserve(HeaderBytes());
+    header.insert(header.end(), kMagic, kMagic + 8);
+    AppendU64(&header, kVersion);
+    AppendU64(&header, lo_);
+    AppendU64(&header, hi_);
+    AppendU64(&header, num_edges_);
+    for (std::uint64_t off : offsets_) AppendU64(&header, off);
+    writer_->RewriteAt(0, header.data(), header.size());
   }
-  if (status_.ok()) {
-    if (std::fwrite(kMagic, 1, 8, file_) != 8) {
-      status_ = Status::IoError("write failed: " + path_);
-    }
-    Put64(kVersion);
-    Put64(lo_);
-    Put64(hi_);
-    Put64(num_edges_);
-    for (std::uint64_t off : offsets_) Put64(off);
-    FlushBuffer();
-  }
-  if (std::fclose(file_) != 0 && status_.ok()) {
-    status_ = Status::IoError("close failed: " + path_);
-  }
-  file_ = nullptr;
-  obs::GetCounter("format.csr6.bytes_written")->Add(bytes_written_);
+  writer_->Close();
+  obs::GetCounter("format.csr6.bytes_written")->Add(writer_->bytes_written());
 }
 
 Csr6Reader::Csr6Reader(const std::string& path) {

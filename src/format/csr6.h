@@ -2,11 +2,13 @@
 #define TRILLIONG_FORMAT_CSR6_H_
 
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/scope_sink.h"
+#include "storage/file_io.h"
 #include "util/common.h"
 #include "util/status.h"
 
@@ -52,20 +54,20 @@ class Csr6Writer : public core::ResumableSink {
     return path + ".offsets";
   }
 
-  const Status& status() const { return status_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Transport errors surface through the writer; token/sidecar problems
+  /// through the local status — whichever failed first wins.
+  const Status& status() const {
+    return status_.ok() ? writer_->status() : status_;
+  }
+  std::uint64_t bytes_written() const { return writer_->bytes_written(); }
 
   static constexpr char kMagic[8] = {'T', 'G', 'C', 'S', 'R', '6', 0, 0};
   static constexpr std::uint64_t kVersion = 1;
 
  private:
-  void Put48(std::uint64_t value);
-  void Put64(std::uint64_t value);
-  void FlushBuffer();
   std::uint64_t HeaderBytes() const { return 8 * 5 + offsets_.size() * 8; }
 
-  std::vector<unsigned char> buffer_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<storage::FileWriterBase> writer_;
   std::FILE* sidecar_ = nullptr;
   std::string path_;
   Status status_;
@@ -74,7 +76,6 @@ class Csr6Writer : public core::ResumableSink {
   VertexId next_vertex_;
   VertexId sidecar_next_;  ///< first vertex whose degree is not yet durable
   std::uint64_t num_edges_ = 0;
-  std::uint64_t bytes_written_ = 0;
   std::vector<std::uint64_t> offsets_;
   std::vector<VertexId> sorted_;
   bool finished_ = false;

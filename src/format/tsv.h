@@ -1,6 +1,8 @@
 #ifndef TRILLIONG_FORMAT_TSV_H_
 #define TRILLIONG_FORMAT_TSV_H_
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,21 +35,28 @@ class TsvWriter : public core::ResumableSink {
   /// Writes one explicit edge (for edge-at-a-time baselines).
   void WriteEdge(VertexId src, VertexId dst);
 
-  const Status& status() const { return writer_.status(); }
-  std::uint64_t bytes_written() const { return writer_.bytes_written(); }
+  const Status& status() const { return writer_->status(); }
+  std::uint64_t bytes_written() const { return writer_->bytes_written(); }
 
  private:
-  storage::FileWriter writer_;
+  std::unique_ptr<storage::FileWriterBase> writer_;
   bool transposed_;
 };
 
 /// Reads a TSV edge list produced by TsvWriter (or any whitespace-separated
-/// pair-per-line file).
+/// pair-per-line file). Block-buffered: bytes are pulled in `buffer_bytes`
+/// chunks and values parsed in place — no per-edge fscanf. Values must fit
+/// the 6-byte formats downstream; anything >= 2^48 is rejected with a
+/// Corruption status naming the line, as is any non-numeric field.
 class TsvReader {
  public:
-  explicit TsvReader(const std::string& path);
+  explicit TsvReader(const std::string& path,
+                     std::size_t buffer_bytes = 1 << 16);
+  ~TsvReader();
+  TsvReader(const TsvReader&) = delete;
+  TsvReader& operator=(const TsvReader&) = delete;
 
-  /// Reads the next edge; returns false at EOF.
+  /// Reads the next edge; returns false at EOF or on error (check status()).
   bool Next(Edge* edge);
 
   /// Convenience: reads the whole file.
@@ -55,14 +64,19 @@ class TsvReader {
 
   const Status& status() const { return status_; }
 
- private:
-  std::FILE* file_ = nullptr;
-  Status status_;
+  /// 1-based line number the parser is currently on.
+  std::uint64_t line() const { return line_; }
 
- public:
-  ~TsvReader();
-  TsvReader(const TsvReader&) = delete;
-  TsvReader& operator=(const TsvReader&) = delete;
+ private:
+  int PeekChar();  // -1 at EOF
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Status status_;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t line_ = 1;
 };
 
 }  // namespace tg::format

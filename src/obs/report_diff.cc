@@ -69,6 +69,10 @@ DiffOptions DiffOptions::Defaults() {
   // Which chunks get stolen is a thread-timing outcome, not a property of
   // the build (sched.chunks, which is deterministic, stays gated).
   options.skip.push_back("sched.steals");
+  // How long the producer blocked on a full async-writer queue is likewise
+  // wall-clock, not workload (io.bytes_written / io.flushes, which are
+  // deterministic, stay gated).
+  options.skip.push_back("io.writer_stall_ms");
   return options;
 }
 

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "format/adj6.h"
-#include "format/csr6.h"
+#include "format/csr6_mapped.h"
 
 namespace tg::query {
 
@@ -29,41 +29,37 @@ CsrGraph CsrGraph::FromEdges(VertexId num_vertices,
 
 Status CsrGraph::FromCsr6Shards(const std::vector<std::string>& paths,
                                 CsrGraph* graph) {
-  struct Shard {
-    format::Csr6Reader reader;
-    explicit Shard(const std::string& path) : reader(path) {}
-  };
-  std::vector<std::unique_ptr<Shard>> shards;
+  // Zero-copy load: each shard is mmap'd (format/csr6_mapped.h) and its
+  // 6-byte neighbors widened straight into the final edge array — no
+  // intermediate per-shard vectors.
+  std::vector<std::unique_ptr<format::Csr6MappedReader>> shards;
   for (const std::string& path : paths) {
-    auto shard = std::make_unique<Shard>(path);
-    if (!shard->reader.status().ok()) return shard->reader.status();
+    auto shard = std::make_unique<format::Csr6MappedReader>(path);
+    if (!shard->status().ok()) return shard->status();
     shards.push_back(std::move(shard));
   }
   std::sort(shards.begin(), shards.end(),
-            [](const auto& a, const auto& b) {
-              return a->reader.lo() < b->reader.lo();
-            });
+            [](const auto& a, const auto& b) { return a->lo() < b->lo(); });
   VertexId expected_lo = 0;
   std::uint64_t total_edges = 0;
   for (const auto& shard : shards) {
-    if (shard->reader.lo() != expected_lo) {
+    if (shard->lo() != expected_lo) {
       return Status::InvalidArgument("CSR6 shards do not tile the range");
     }
-    expected_lo = shard->reader.hi();
-    total_edges += shard->reader.num_edges();
+    expected_lo = shard->hi();
+    total_edges += shard->num_edges();
   }
   const VertexId num_vertices = expected_lo;
 
   graph->offsets_.assign(num_vertices + 1, 0);
-  graph->edges_.clear();
-  graph->edges_.reserve(total_edges);
+  graph->edges_.resize(total_edges);
+  std::uint64_t base = 0;
   for (const auto& shard : shards) {
-    const format::Csr6Reader& r = shard->reader;
-    for (VertexId u = r.lo(); u < r.hi(); ++u) {
-      auto nbrs = r.Neighbors(u);
-      graph->offsets_[u + 1] = graph->offsets_[u] + nbrs.size();
-      graph->edges_.insert(graph->edges_.end(), nbrs.begin(), nbrs.end());
+    for (VertexId u = shard->lo(); u < shard->hi(); ++u) {
+      graph->offsets_[u + 1] = base + shard->EdgeOffset(u + 1);
     }
+    shard->CopyAllNeighbors(graph->edges_.data() + base);
+    base += shard->num_edges();
   }
   return Status::Ok();
 }

@@ -1,0 +1,400 @@
+#include "storage/async_writer.h"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "storage/uring.h"
+
+namespace tg::storage {
+
+namespace {
+
+obs::Counter* StallCounter() {
+  static obs::Counter* const counter = obs::GetCounter("io.writer_stall_ms");
+  return counter;
+}
+
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* const gauge = obs::GetGauge("io.inflight_bytes");
+  return gauge;
+}
+
+obs::Gauge* UringActiveGauge() {
+  static obs::Gauge* const gauge = obs::GetGauge("io.uring_active");
+  return gauge;
+}
+
+}  // namespace
+
+Status ParseIoSpec(const std::string& spec, IoConfig* config) {
+  IoConfig parsed;
+  if (spec == "sync") {
+    parsed.mode = IoMode::kSync;
+  } else if (spec == "async" || spec == "async,uring") {
+    parsed.mode = IoMode::kAsync;
+    parsed.use_uring = true;
+  } else if (spec == "async,nouring") {
+    parsed.mode = IoMode::kAsync;
+    parsed.use_uring = false;
+  } else {
+    return Status::InvalidArgument(
+        "unknown I/O spec \"" + spec +
+        "\" (expected sync | async | async,uring | async,nouring)");
+  }
+  *config = parsed;
+  return Status::Ok();
+}
+
+std::string IoSpecString(const IoConfig& config) {
+  if (config.mode == IoMode::kSync) return "sync";
+  return config.use_uring ? "async,uring" : "async,nouring";
+}
+
+IoConfig& GlobalIoConfig() {
+  static IoConfig config = [] {
+    IoConfig c;
+    const char* env = std::getenv("TG_IO");
+    if (env != nullptr && env[0] != '\0') {
+      IoConfig parsed;
+      const Status status = ParseIoSpec(env, &parsed);
+      if (status.ok()) {
+        c = parsed;
+      } else {
+        std::fprintf(stderr, "warning: TG_IO: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    return c;
+  }();
+  return config;
+}
+
+std::unique_ptr<FileWriterBase> MakeFileWriter(std::size_t buffer_bytes,
+                                               const IoConfig& config) {
+  if (config.mode == IoMode::kSync) {
+    return std::make_unique<FileWriter>(buffer_bytes);
+  }
+  return std::make_unique<AsyncFileWriter>(
+      buffer_bytes, config.use_uring && UringCompiledIn());
+}
+
+std::unique_ptr<FileWriterBase> MakeFileWriter(std::size_t buffer_bytes) {
+  return MakeFileWriter(buffer_bytes, GlobalIoConfig());
+}
+
+AsyncFileWriter::~AsyncFileWriter() { Close(); }
+
+Status AsyncFileWriter::BackendOpen(const std::string& path, bool resume,
+                                    std::uint64_t offset) {
+  const int flags = resume ? O_WRONLY : (O_WRONLY | O_CREAT | O_TRUNC);
+  fd_ = ::open(path.c_str(), flags, 0666);
+  if (fd_ < 0) {
+    return Status::IoError((resume ? "cannot open for resume: "
+                                   : "cannot open for write: ") +
+                           path);
+  }
+  if (resume && ::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IoError("cannot truncate for resume: " + path);
+  }
+  next_offset_ = offset;
+  stall_carry_us_ = 0;
+  stop_ = false;
+  writer_thread_ = std::thread(&AsyncFileWriter::WriterLoop, this);
+  return Status::Ok();
+}
+
+std::vector<char> AsyncFileWriter::TakeSpareBuffer() {
+  if (spare_buffers_.empty()) return {};
+  std::vector<char> buffer = std::move(spare_buffers_.back());
+  spare_buffers_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void AsyncFileWriter::EnqueueBlock(std::vector<char>&& data) {
+  const std::size_t n = data.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pending_blocks_ >= kQueueDepth) {
+    const auto start = std::chrono::steady_clock::now();
+    producer_cv_.wait(lock, [this] {
+      return pending_blocks_ < kQueueDepth || backend_failed();
+    });
+    stall_carry_us_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (stall_carry_us_ >= 1000) {
+      StallCounter()->Add(stall_carry_us_ / 1000);
+      stall_carry_us_ %= 1000;
+    }
+  }
+  if (backend_failed()) return;  // sticky error: drop the block
+  Block block;
+  block.data = std::move(data);
+  block.offset = next_offset_;
+  next_offset_ += n;
+  queue_.push_back(std::move(block));
+  ++pending_blocks_;
+  InflightGauge()->Add(static_cast<double>(n));
+  writer_cv_.notify_one();
+}
+
+void AsyncFileWriter::BackendWrite(std::vector<char>& buffer) {
+  std::vector<char> data;
+  data.swap(buffer);
+  EnqueueBlock(std::move(data));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer = TakeSpareBuffer();
+  }
+  if (buffer.capacity() < buffer_capacity()) buffer.reserve(buffer_capacity());
+}
+
+void AsyncFileWriter::BackendWriteDirect(const char* data, std::size_t n) {
+  const std::size_t chunk = buffer_capacity();
+  while (n > 0 && !backend_failed()) {
+    const std::size_t m = std::min(n, chunk);
+    std::vector<char> block;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      block = TakeSpareBuffer();
+    }
+    block.assign(data, data + m);
+    EnqueueBlock(std::move(block));
+    data += m;
+    n -= m;
+  }
+}
+
+void AsyncFileWriter::BackendBarrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  producer_cv_.wait(lock, [this] { return pending_blocks_ == 0; });
+}
+
+void AsyncFileWriter::BackendRewriteAt(std::uint64_t offset, const char* data,
+                                       std::size_t n) {
+  // Only reached between BackendBarrier() and the next append: the writer
+  // thread is idle, so a producer-side pwrite cannot interleave with it.
+  if (backend_failed() || fd_ < 0) return;
+  const IoFailureHook& hook = IoFailureHookRef();
+  if (hook && hook(path())) {
+    RecordBackendError(Status::IoError("injected I/O failure: " + path()));
+    return;
+  }
+  while (n > 0) {
+    const ssize_t wrote = ::pwrite(fd_, data, n, static_cast<off_t>(offset));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      RecordBackendError(Status::IoError("write failed: " + path()));
+      return;
+    }
+    if (wrote == 0) {
+      RecordBackendError(Status::IoError("write failed: " + path()));
+      return;
+    }
+    data += wrote;
+    offset += static_cast<std::uint64_t>(wrote);
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void AsyncFileWriter::BackendClose() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  writer_cv_.notify_all();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  queue_.clear();
+  spare_buffers_.clear();
+  pending_blocks_ = 0;
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0 && !backend_failed()) {
+      RecordBackendError(Status::IoError("close failed: " + path()));
+    }
+    fd_ = -1;
+  }
+}
+
+bool AsyncFileWriter::WriteBlockSync(const Block& block) {
+  if (backend_failed()) return false;
+  const IoFailureHook& hook = IoFailureHookRef();
+  if (hook && hook(path())) {
+    RecordBackendError(Status::IoError("injected I/O failure: " + path()));
+    return false;
+  }
+  return PwriteRange(block.data.data(), block.data.size(), block.offset);
+}
+
+void AsyncFileWriter::RetireBlock(Block& block) {
+  InflightGauge()->Add(-static_cast<double>(block.data.size()));
+  block.data.clear();
+  if (spare_buffers_.size() < kQueueDepth) {
+    spare_buffers_.push_back(std::move(block.data));
+  }
+  block.data = {};
+  --pending_blocks_;
+  producer_cv_.notify_all();
+}
+
+void AsyncFileWriter::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (use_uring_) {
+    WriterLoopUring(lock);
+  } else {
+    WriterLoopPwrite(lock);
+  }
+}
+
+void AsyncFileWriter::WriterLoopPwrite(std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    writer_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Block block = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    WriteBlockSync(block);
+    lock.lock();
+    RetireBlock(block);
+  }
+}
+
+void AsyncFileWriter::WriterLoopUring(std::unique_lock<std::mutex>& lock) {
+  UringQueue ring;
+  lock.unlock();
+  const bool ring_ready = ring.Init(kQueueDepth);
+  lock.lock();
+  if (!ring_ready) {
+    WriterLoopPwrite(lock);
+    return;
+  }
+  UringActiveGauge()->Set(1.0);
+
+  std::vector<Block> slots(kQueueDepth);
+  std::vector<bool> slot_used(kQueueDepth, false);
+  std::size_t used_count = 0;
+
+  for (;;) {
+    if (queue_.empty() && used_count == 0) {
+      if (stop_) return;
+      writer_cv_.wait(lock);
+      continue;
+    }
+
+    // Move queued blocks into free slots and submit them; a block the kernel
+    // refuses (ring pressure, unsupported SQE) is written synchronously so
+    // ordering and the error contract never depend on uring health.
+    while (!queue_.empty() && used_count < kQueueDepth) {
+      std::size_t s = 0;
+      while (slot_used[s]) ++s;
+      slots[s] = std::move(queue_.front());
+      queue_.pop_front();
+      slot_used[s] = true;
+      ++used_count;
+      Block& block = slots[s];
+      lock.unlock();
+      bool submitted = false;
+      if (!backend_failed()) {
+        const IoFailureHook& hook = IoFailureHookRef();
+        if (hook && hook(path())) {
+          RecordBackendError(
+              Status::IoError("injected I/O failure: " + path()));
+        } else if (ring.SubmitWrite(fd_, block.data.data(), block.data.size(),
+                                    block.offset, s)) {
+          submitted = true;
+        } else {
+          PwriteRange(block.data.data(), block.data.size(), block.offset);
+        }
+      }
+      lock.lock();
+      if (!submitted) {
+        RetireBlock(slots[s]);
+        slot_used[s] = false;
+        --used_count;
+      }
+    }
+
+    if (ring.inflight() == 0) continue;
+
+    lock.unlock();
+    UringCompletion completions[kQueueDepth];
+    const int reaped =
+        ring.Wait(completions, static_cast<int>(kQueueDepth));
+    if (reaped < 0) {
+      // The ring itself died (io_uring_enter failure). Completions for the
+      // in-flight slots will never arrive; fail the writer and fall back to
+      // pwrite for whatever is still queued.
+      RecordBackendError(Status::IoError("write failed: " + path()));
+      lock.lock();
+      for (std::size_t s = 0; s < kQueueDepth; ++s) {
+        if (!slot_used[s]) continue;
+        RetireBlock(slots[s]);
+        slot_used[s] = false;
+        --used_count;
+      }
+      ring.Shutdown();
+      WriterLoopPwrite(lock);
+      return;
+    }
+    for (int i = 0; i < reaped; ++i) {
+      const std::size_t s = static_cast<std::size_t>(completions[i].user_data);
+      Block& block = slots[s];
+      const std::int64_t result = completions[i].result;
+      if (result < 0) {
+        // Per-op failure (e.g. EINVAL from a kernel without IORING_OP_WRITE
+        // at this offset shape): retry the whole block synchronously.
+        if (!backend_failed()) {
+          PwriteRange(block.data.data(), block.data.size(), block.offset);
+        }
+      } else if (static_cast<std::size_t>(result) < block.data.size()) {
+        PwriteRange(block.data.data() + result, block.data.size() - result,
+                    block.offset + static_cast<std::uint64_t>(result));
+      }
+      completions[i].user_data = s;  // slot retired below, under the lock
+    }
+    lock.lock();
+    for (int i = 0; i < reaped; ++i) {
+      const std::size_t s = static_cast<std::size_t>(completions[i].user_data);
+      RetireBlock(slots[s]);
+      slot_used[s] = false;
+      --used_count;
+    }
+  }
+}
+
+bool AsyncFileWriter::PwriteRange(const char* data, std::size_t n,
+                                  std::uint64_t offset) {
+  if (backend_failed()) return false;
+  while (n > 0) {
+    const ssize_t wrote = ::pwrite(fd_, data, n, static_cast<off_t>(offset));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      RecordBackendError(Status::IoError("write failed: " + path()));
+      return false;
+    }
+    if (wrote == 0) {
+      RecordBackendError(Status::IoError("write failed: " + path()));
+      return false;
+    }
+    data += wrote;
+    offset += static_cast<std::uint64_t>(wrote);
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace tg::storage

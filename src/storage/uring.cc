@@ -1,0 +1,217 @@
+#include "storage/uring.h"
+
+#if defined(TG_IO_URING) && TG_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tg::storage {
+
+#if defined(TG_IO_URING) && TG_IO_URING
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+}  // namespace
+
+bool UringCompiledIn() { return true; }
+
+bool UringAvailable() {
+  static const bool available = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysUringSetup(2, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return available;
+}
+
+UringQueue::~UringQueue() { Shutdown(); }
+
+bool UringQueue::Init(unsigned entries) {
+  Shutdown();
+  if (!UringAvailable()) return false;
+  if (entries < 1) entries = 1;
+
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  ring_fd_ = SysUringSetup(entries, &params);
+  if (ring_fd_ < 0) return false;
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) {
+    sq_ring_bytes_ = cq_ring_bytes_;
+  }
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    Shutdown();
+    return false;
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+    cq_ring_bytes_ = 0;  // owned by the SQ mapping
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      Shutdown();
+      return false;
+    }
+  }
+
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    Shutdown();
+    return false;
+  }
+
+  char* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  sq_entries_ = params.sq_entries;
+
+  char* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  cq_mask_ = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+  inflight_ = 0;
+  return true;
+}
+
+bool UringQueue::HasSpace() const {
+  if (ring_fd_ < 0) return false;
+  const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  const unsigned tail = *sq_tail_;  // sole producer
+  return tail - head < sq_entries_;
+}
+
+bool UringQueue::SubmitWrite(int fd, const void* data, std::size_t len,
+                             std::uint64_t offset, std::uint64_t user_data) {
+  if (!HasSpace()) return false;
+  const unsigned tail = *sq_tail_;
+  const unsigned index = tail & *sq_mask_;
+  io_uring_sqe* sqe = static_cast<io_uring_sqe*>(sqes_) + index;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_WRITE;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(data);
+  sqe->len = static_cast<unsigned>(len);
+  sqe->off = offset;
+  sqe->user_data = user_data;
+  sq_array_[index] = index;
+  __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+
+  for (;;) {
+    const int ret = SysUringEnter(ring_fd_, 1, 0, 0);
+    if (ret >= 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EBUSY) {
+      // Kernel-side completion queue pressure: reap before resubmitting is
+      // the caller's job; report the slot as unsubmittable.
+      __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+      return false;
+    }
+    // EINVAL/EOPNOTSUPP and friends: this kernel cannot run our SQE shape.
+    __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+    return false;
+  }
+  ++inflight_;
+  return true;
+}
+
+int UringQueue::Wait(UringCompletion* out, int max) {
+  if (ring_fd_ < 0 || inflight_ == 0 || max <= 0) return 0;
+  for (;;) {
+    unsigned head = *cq_head_;  // sole consumer
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    int count = 0;
+    while (head != tail && count < max) {
+      const io_uring_cqe* cqe =
+          static_cast<const io_uring_cqe*>(cqes_) + (head & *cq_mask_);
+      out[count].user_data = cqe->user_data;
+      out[count].result = cqe->res;
+      ++head;
+      ++count;
+    }
+    if (count > 0) {
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      inflight_ -= static_cast<unsigned>(count);
+      return count;
+    }
+    const int ret = SysUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+    if (ret < 0 && errno != EINTR) return -1;
+  }
+}
+
+void UringQueue::Shutdown() {
+  if (sqes_ != nullptr) {
+    ::munmap(sqes_, sqes_bytes_);
+    sqes_ = nullptr;
+  }
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_ && cq_ring_bytes_ > 0) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  cq_ring_ = nullptr;
+  if (sq_ring_ != nullptr) {
+    ::munmap(sq_ring_, sq_ring_bytes_);
+    sq_ring_ = nullptr;
+  }
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+  inflight_ = 0;
+  sq_head_ = sq_tail_ = sq_mask_ = sq_array_ = nullptr;
+  cq_head_ = cq_tail_ = cq_mask_ = nullptr;
+  cqes_ = nullptr;
+  sq_entries_ = 0;
+}
+
+#else  // !TG_IO_URING
+
+bool UringCompiledIn() { return false; }
+bool UringAvailable() { return false; }
+
+UringQueue::~UringQueue() = default;
+bool UringQueue::Init(unsigned) { return false; }
+bool UringQueue::HasSpace() const { return false; }
+bool UringQueue::SubmitWrite(int, const void*, std::size_t, std::uint64_t,
+                             std::uint64_t) {
+  return false;
+}
+int UringQueue::Wait(UringCompletion*, int) { return 0; }
+void UringQueue::Shutdown() {}
+
+#endif  // TG_IO_URING
+
+}  // namespace tg::storage

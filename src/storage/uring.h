@@ -1,0 +1,92 @@
+// storage/uring.h — minimal raw-syscall io_uring submission queue for the
+// async writer. No liburing dependency: the ring is set up with
+// io_uring_setup(2)/io_uring_enter(2) directly and the SQ/CQ rings are
+// mmap'd by hand (docs/PERFORMANCE.md, "I/O path").
+//
+// Compiled out (every call degrades to "unsupported") when the build lacks
+// <linux/io_uring.h> or was configured with -DTG_IO_URING=OFF; probed at
+// runtime so old kernels fall back to pwrite transparently.
+#ifndef TRILLIONG_STORAGE_URING_H_
+#define TRILLIONG_STORAGE_URING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tg::storage {
+
+/// True when this build carries the io_uring submission path at all
+/// (TG_IO_URING=ON and the kernel header was present at compile time).
+bool UringCompiledIn();
+
+/// True when the running kernel accepts io_uring_setup(2). Probed once and
+/// cached; false on ENOSYS (kernel too old / seccomp-blocked) or when the
+/// build compiled the path out.
+bool UringAvailable();
+
+/// Completion record handed back by UringQueue::Wait.
+struct UringCompletion {
+  std::uint64_t user_data = 0;
+  std::int64_t result = 0;  // bytes written, or -errno
+};
+
+/// Single-threaded io_uring wrapper issuing positional IORING_OP_WRITE
+/// submissions. Owned and driven entirely by the async writer thread; not
+/// thread-safe. All methods are safe to call when Init failed (they report
+/// no capacity / no completions).
+class UringQueue {
+ public:
+  UringQueue() = default;
+  ~UringQueue();
+
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Sets up a ring with at least `entries` submission slots. Returns false
+  /// when io_uring is unavailable — the caller falls back to pwrite.
+  bool Init(unsigned entries);
+
+  bool ready() const { return ring_fd_ >= 0; }
+  unsigned inflight() const { return inflight_; }
+  bool HasSpace() const;
+
+  /// Queues one positional write and submits it to the kernel. Returns false
+  /// without consuming a slot when the ring is full, not ready, or the
+  /// kernel rejects the submission (caller should pwrite instead). `data`
+  /// must stay alive until the matching completion is reaped.
+  bool SubmitWrite(int fd, const void* data, std::size_t len,
+                   std::uint64_t offset, std::uint64_t user_data);
+
+  /// Reaps up to `max` completions, blocking until at least one arrives
+  /// (there must be in-flight submissions). Returns the number reaped, or -1
+  /// on an unrecoverable ring error.
+  int Wait(UringCompletion* out, int max);
+
+  void Shutdown();
+
+ private:
+  int ring_fd_ = -1;
+  unsigned inflight_ = 0;
+
+  // SQ ring.
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_entries_ = 0;
+  void* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  // CQ ring (may alias sq_ring_ under IORING_FEAT_SINGLE_MMAP).
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace tg::storage
+
+#endif  // TRILLIONG_STORAGE_URING_H_

@@ -101,11 +101,31 @@ TEST(FailureTest, Csr6OffsetEdgeCountMismatchRejected) {
   EXPECT_DEATH(format::Csr6Reader reader(path), "mismatch");
 }
 
-TEST(FailureTest, Append48RejectsOversizedIds) {
+// The 48-bit range check lives at the format-writer scope level (one check
+// per adjacency, not one per Append48 in the hot loop) and is always on —
+// both the ADJ6 and the CSR6 writer must die on an oversized id.
+TEST(FailureTest, Adj6ScopeRejectsOversizedIds) {
   storage::TempDir dir;
-  storage::FileWriter w;
-  ASSERT_TRUE(w.Open(dir.File("x.bin")).ok());
-  EXPECT_DEATH(w.Append48(std::uint64_t{1} << 48), "does not fit in 6 bytes");
+  const std::string path = dir.File("x.adj6");
+  const VertexId adj[1] = {VertexId{1} << 48};
+  EXPECT_DEATH(
+      {
+        format::Adj6Writer w(path);
+        w.ConsumeScope(0, adj, 1);
+      },
+      "does not fit in 6 bytes");
+}
+
+TEST(FailureTest, Csr6ScopeRejectsOversizedIds) {
+  storage::TempDir dir;
+  const std::string path = dir.File("x.csr6");
+  const VertexId adj[1] = {VertexId{1} << 48};
+  EXPECT_DEATH(
+      {
+        format::Csr6Writer w(path, 0, 4);
+        w.ConsumeScope(0, adj, 1);
+      },
+      "does not fit in 6 bytes");
 }
 
 TEST(FailureTest, ConvertReportsMissingInput) {
