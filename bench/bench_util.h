@@ -13,6 +13,8 @@
 #include "obs/sampler.h"
 #include "obs/serve/admin_server.h"
 #include "obs/trace.h"
+#include "prof/folded.h"
+#include "prof/profiler.h"
 #include "util/common.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -88,6 +90,13 @@ inline std::uint64_t BudgetBytesFromEnv(std::uint64_t default_bytes) {
 ///                                      of the bench; 0 = ephemeral port,
 ///                                      printed at startup. Implies the
 ///                                      sampler so /events has ticks.
+///   TG_PROFILE=/tmp/{name}.folded      sample the bench with the in-process
+///                                      profiler (docs/OBSERVABILITY.md
+///                                      "Profiling"), write folded stacks on
+///                                      destruction and embed the prof
+///                                      section in the RunReport.
+///                                      TG_PROFILE_HZ overrides the 99 Hz
+///                                      default rate.
 ///
 ///   TG_METRICS_JSON=/tmp/{name}.json ./bench_fig11b_distributed
 ///
@@ -99,6 +108,18 @@ class ObsSession {
   explicit ObsSession(const std::string& name) : name_(name) {
     path_ = PathFromEnv("TG_METRICS_JSON");
     trace_path_ = PathFromEnv("TG_TRACE_JSON");
+    profile_path_ = PathFromEnv("TG_PROFILE");
+    if (!profile_path_.empty()) {
+      prof::ProfilerOptions prof_options;
+      const char* hz = std::getenv("TG_PROFILE_HZ");
+      if (hz != nullptr && hz[0] != '\0') prof_options.hz = std::atoi(hz);
+      Status started = prof::StartProfiler(prof_options);
+      if (!started.ok()) {
+        std::fprintf(stderr, "cannot start profiler: %s\n",
+                     started.ToString().c_str());
+        profile_path_.clear();
+      }
+    }
     const char* sample_ms = std::getenv("TG_SAMPLE_MS");
     const bool have_sample_ms = sample_ms != nullptr && sample_ms[0] != '\0';
     const int interval_from_env = obs::SamplerIntervalFromEnv(-1);
@@ -136,6 +157,20 @@ class ObsSession {
   ~ObsSession() {
     if (sampler_ != nullptr) sampler_->Stop();
     admin_.Stop();
+    prof::ProfileSnapshot prof_snapshot;
+    if (!profile_path_.empty()) {
+      prof::StopProfiler();
+      prof_snapshot = prof::TakeSnapshot();
+      Status status = prof::WriteFoldedFile(prof_snapshot, profile_path_);
+      if (status.ok()) {
+        std::printf("profile written to %s (%llu samples)\n",
+                    profile_path_.c_str(),
+                    static_cast<unsigned long long>(prof_snapshot.samples));
+      } else {
+        std::fprintf(stderr, "failed to write %s: %s\n", profile_path_.c_str(),
+                     status.ToString().c_str());
+      }
+    }
     if (!trace_path_.empty()) {
       Status status = obs::WriteChromeTraceFile(trace_path_);
       if (status.ok()) {
@@ -149,6 +184,10 @@ class ObsSession {
     obs::RunReport report = obs::RunReport::Collect(obs::Registry::Global());
     report.meta["tool"] = name_;
     if (sampler_ != nullptr) sampler_->ExportTo(&report);
+    if (!profile_path_.empty()) {
+      report.meta["profile"] = profile_path_;
+      prof::ExportTo(prof_snapshot, &report);
+    }
     Status status = report.WriteJsonFile(path_);
     if (status.ok()) {
       std::printf("metrics report written to %s\n", path_.c_str());
@@ -179,6 +218,7 @@ class ObsSession {
   std::string name_;
   std::string path_;
   std::string trace_path_;
+  std::string profile_path_;
   std::unique_ptr<obs::Sampler> sampler_;
   obs::serve::AdminServer admin_;
 };

@@ -9,6 +9,7 @@
 // Output files: <out>.w<k>.<ext> for worker k.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "obs/serve/prometheus.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "prof/folded.h"
+#include "prof/profiler.h"
 #include "rng/lane_rng.h"
 #include "storage/async_writer.h"
 #include "util/flags.h"
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
         "[--metrics_table]\n"
         "       [--trace_json=PATH] [--progress] [--sample_ms=N]\n"
         "       [--sample_interval_ms=N] [--admin_port=N]\n"
+        "       [--profile=PATH] [--profile_hz=N]\n"
         "       [--mem_budget=SIZE] [--oom_report=PATH]\n"
         "       [--fault_plan=PLAN] [--journal] [--resume]\n"
         "--fault_plan injects deterministic faults into the simulated\n"
@@ -121,6 +125,13 @@ int main(int argc, char** argv) {
         "ephemeral port, printed at startup. The server only reads\n"
         "observability state: output files are bit-identical with it on or\n"
         "off.\n"
+        "--profile samples the run with the in-process profiler (tg::prof,\n"
+        "docs/OBSERVABILITY.md \"Profiling\") and writes flamegraph.pl-\n"
+        "compatible folded stacks to PATH; --profile_hz sets the sampling\n"
+        "rate (default 99 Hz of process CPU time). TG_PROFILE /\n"
+        "TG_PROFILE_HZ in the environment are honored when the flags are\n"
+        "absent. The profiler only reads program state: output files are\n"
+        "bit-identical with it on or off.\n"
         "--io selects the writer transport (docs/PERFORMANCE.md \"The I/O\n"
         "path\"): 'sync' is the blocking stdio writer, 'async' (the default)\n"
         "double-buffers flushes onto a writer thread, with io_uring\n"
@@ -276,6 +287,24 @@ int main(int argc, char** argv) {
   config.budget = &budget;
   const std::string oom_report_path = flags.GetString("oom_report", "");
 
+  // Profiling (docs/OBSERVABILITY.md "Profiling"): flag first, TG_PROFILE /
+  // TG_PROFILE_HZ as the env fallback so benches and CI can arm it without
+  // touching command lines.
+  std::string profile_path = flags.GetString("profile", "");
+  if (profile_path.empty()) {
+    const char* env_profile = std::getenv("TG_PROFILE");
+    if (env_profile != nullptr && env_profile[0] != '\0') {
+      profile_path = env_profile;
+    }
+  }
+  int profile_hz = 99;
+  if (const char* env_hz = std::getenv("TG_PROFILE_HZ");
+      env_hz != nullptr && env_hz[0] != '\0') {
+    profile_hz = std::atoi(env_hz);
+  }
+  profile_hz = static_cast<int>(flags.GetInt("profile_hz", profile_hz));
+  const bool profiling = !profile_path.empty();
+
   const std::string metrics_json = flags.GetString("metrics_json", "");
   const std::string metrics_prom = flags.GetString("metrics_prom", "");
   const std::string trace_json = flags.GetString("trace_json", "");
@@ -309,6 +338,26 @@ int main(int argc, char** argv) {
     sampler_options.interval_ms = interval_ms;
     sampler_options.print_progress = progress;
     sampler_options.progress_target_edges = config.NumEdges();
+    if (resume && !config.resume_next_seq.empty()) {
+      // Chunks the journal already committed count as done work at t=0, so
+      // the progress percentage starts at the true completion fraction and
+      // the ETA is not inflated by crediting old work to the cold-start
+      // rate. Chunks are equal-mass by construction (BuildChunkQueues),
+      // which makes the linear chunk → edge estimate exact in expectation.
+      std::uint64_t committed_chunks = 0;
+      for (std::uint32_t next_seq : config.resume_next_seq) {
+        committed_chunks += next_seq;
+      }
+      const std::uint64_t total_chunks =
+          static_cast<std::uint64_t>(config.num_workers) *
+          static_cast<std::uint64_t>(config.chunks_per_worker);
+      if (total_chunks > 0) {
+        sampler_options.progress_initial_edges = static_cast<std::uint64_t>(
+            static_cast<double>(config.NumEdges()) *
+            static_cast<double>(committed_chunks) /
+            static_cast<double>(total_chunks));
+      }
+    }
     sampler = std::make_unique<tg::obs::Sampler>(sampler_options);
     sampler->Start();
   }
@@ -339,6 +388,19 @@ int main(int argc, char** argv) {
     }
     std::printf("admin server on http://127.0.0.1:%d/ (try /metrics)\n",
                 admin.port());
+  }
+
+  if (profiling) {
+    tg::prof::ProfilerOptions prof_options;
+    prof_options.hz = profile_hz;
+    tg::Status prof_status = tg::prof::StartProfiler(prof_options);
+    if (!prof_status.ok()) {
+      std::fprintf(stderr, "cannot start profiler: %s\n",
+                   prof_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("profiler sampling at %d Hz -> %s\n", profile_hz,
+                profile_path.c_str());
   }
 
   std::printf("generating scale %d (|V|=%llu, |E|=%llu) as %s into %s.*\n",
@@ -428,6 +490,26 @@ int main(int argc, char** argv) {
   }
 
   if (sampler != nullptr) sampler->Stop();
+
+  tg::prof::ProfileSnapshot prof_snapshot;
+  if (profiling) {
+    tg::prof::StopProfiler();
+    prof_snapshot = tg::prof::TakeSnapshot();
+    tg::Status prof_write =
+        tg::prof::WriteFoldedFile(prof_snapshot, profile_path);
+    if (!prof_write.ok()) {
+      std::fprintf(stderr, "failed to write profile %s: %s\n",
+                   profile_path.c_str(), prof_write.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "profile written to %s (%llu samples, %llu dropped; render with "
+        "flamegraph.pl)\n",
+        profile_path.c_str(),
+        static_cast<unsigned long long>(prof_snapshot.samples),
+        static_cast<unsigned long long>(prof_snapshot.dropped));
+  }
+
   if (!trace_json.empty()) {
     tg::Status status = tg::obs::WriteChromeTraceFile(trace_json);
     if (!status.ok()) {
@@ -466,6 +548,10 @@ int main(int argc, char** argv) {
     if (journaling) report.meta["journal"] = journal_path;
     if (resume) report.meta["resumed"] = "1";
     if (sampler != nullptr) sampler->ExportTo(&report);
+    if (profiling) {
+      report.meta["profile"] = profile_path;
+      tg::prof::ExportTo(prof_snapshot, &report);
+    }
     if (metrics_table) std::fputs(report.ToTable().c_str(), stdout);
     if (!metrics_json.empty()) {
       tg::Status status = report.WriteJsonFile(metrics_json);

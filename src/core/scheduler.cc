@@ -14,6 +14,7 @@
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "prof/profiler.h"
 #include "util/stopwatch.h"
 
 namespace tg::core {
@@ -150,6 +151,11 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   std::mutex recovery_mu;
   std::deque<Chunk> recovery_q;
   std::vector<double> cpu(num_workers, 0.0);
+  // Wall time at which each worker ran out of work, for the profiler's
+  // off-CPU idle-tail attribution (workers that finish early sit joined
+  // while the slowest one runs; that gap is `[stall:idle]` time).
+  Stopwatch run_timer;
+  std::vector<double> exit_wall(num_workers, 0.0);
 
   auto domain_of = [&](int w) {
     return options.steal_domain.empty() ? 0 : options.steal_domain[w];
@@ -238,6 +244,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
     const int machine =
         options.machine_tags.empty() ? w : options.machine_tags[w];
     obs::ScopedMachine machine_tag(machine);
+    prof::EnsureThreadRegistered(w);
     TG_SPAN("avs.generate");
     const double cpu_start = ThreadCpuSeconds();
     try {
@@ -289,6 +296,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
           } else {
             // Another machine may still crash and orphan chunks onto the
             // recovery queue; stay alive until everything has committed.
+            prof::RecordStall("steal_wait", 50e-6);
             std::this_thread::sleep_for(std::chrono::microseconds(50));
             continue;
           }
@@ -325,6 +333,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
       abort.store(true, std::memory_order_relaxed);
     }
     cpu[w] = ThreadCpuSeconds() - cpu_start;
+    exit_wall[w] = run_timer.ElapsedSeconds();
   };
 
   if (num_workers == 1) {
@@ -334,6 +343,19 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
     threads.reserve(num_workers);
     for (int w = 0; w < num_workers; ++w) threads.emplace_back(worker_body, w);
     for (std::thread& t : threads) t.join();
+  }
+
+  // Idle tails: workers that drained their domain early were off-CPU until
+  // the slowest worker finished. Recorded per simulated machine so the
+  // folded profile shows load imbalance as `[stall:idle]` frames.
+  const double last_exit =
+      *std::max_element(exit_wall.begin(), exit_wall.end());
+  for (int w = 0; w < num_workers; ++w) {
+    const double tail = last_exit - exit_wall[w];
+    if (tail <= 0.0) continue;
+    prof::RecordStall("idle", tail,
+                      options.machine_tags.empty() ? w
+                                                   : options.machine_tags[w]);
   }
 
   if (first_error) std::rethrow_exception(first_error);

@@ -272,6 +272,10 @@ void PreregisterCanonicalMetrics() {
   // Live progress + tracing (obs/sampler.h, obs/trace.h).
   r.GetCounter("progress.edges");
   r.GetCounter("trace.dropped_events");
+  // Sampling profiler (prof/profiler.h). Zero unless --profile / TG_PROFILE
+  // armed the sampler; wall-clock-dependent, so skipped by bench diffs.
+  r.GetCounter("prof.samples");
+  r.GetCounter("prof.dropped_samples");
   // Sampler tick drift (obs/sampler.cc): observed minus nominal interval of
   // the latest tick, so SSE consumers can judge timestamp quality.
   r.GetGauge("obs.sampler.drift_ms");

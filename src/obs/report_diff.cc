@@ -73,7 +73,48 @@ DiffOptions DiffOptions::Defaults() {
   // wall-clock, not workload (io.bytes_written / io.flushes, which are
   // deterministic, stay gated).
   options.skip.push_back("io.writer_stall_ms");
+  // Profiler sample counts are a function of CPU time consumed, not of the
+  // workload's output — two hosts (or two optimization levels) legitimately
+  // disagree.
+  options.skip.push_back("prof.samples");
+  options.skip.push_back("prof.dropped_samples");
   return options;
+}
+
+std::vector<GatedMetric> ListGatedMetrics(const RunReport& baseline,
+                                          const DiffOptions& options) {
+  std::vector<GatedMetric> out;
+  auto add = [&out](const std::string& name, const char* kind, double tol,
+                    bool skipped) {
+    GatedMetric metric;
+    metric.name = name;
+    metric.kind = kind;
+    metric.rel_tol = tol;
+    metric.skipped = skipped || tol < 0;
+    out.push_back(std::move(metric));
+  };
+
+  for (const auto& [name, value] : baseline.counters) {
+    (void)value;
+    auto it = options.tolerances.find(name);
+    double tol =
+        it != options.tolerances.end() ? it->second : options.counter_rel_tol;
+    add(name, "counter", tol, Skipped(options, name));
+  }
+  for (const auto& [name, value] : baseline.gauges) {
+    (void)value;
+    add(name, "gauge", GaugeTolerance(options, name), Skipped(options, name));
+  }
+  for (const auto& [name, hist] : baseline.histograms) {
+    (void)hist;
+    auto it = options.tolerances.find(name);
+    double tol =
+        it != options.tolerances.end() ? it->second : options.counter_rel_tol;
+    const bool skipped = Skipped(options, name) || !options.check_histograms;
+    add("histogram/" + name + "/count", "histogram", tol, skipped);
+    add("histogram/" + name + "/sum", "histogram", tol, skipped);
+  }
+  return out;
 }
 
 DiffResult DiffReports(const RunReport& baseline, const RunReport& current,

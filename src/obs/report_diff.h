@@ -72,6 +72,23 @@ struct DiffResult {
   std::string ToString(bool verbose) const;
 };
 
+/// One row of `ListGatedMetrics`: what DiffReports would do with a baseline
+/// metric under a given option set, without needing a current report.
+struct GatedMetric {
+  std::string name;     ///< metric (or `histogram/<name>/{count,sum}`) key
+  std::string kind;     ///< "counter", "gauge", or "histogram"
+  double rel_tol = 0.0; ///< resolved relative tolerance (may be negative)
+  bool skipped = false; ///< true when DiffReports would not compare it
+};
+
+/// Enumerates every metric in `baseline` with the tolerance DiffReports
+/// would apply — the same resolution order (explicit override, built-in
+/// prefix rule, kind default) — including the ones it would skip. Backs
+/// `bench_check --list`, so the CI gate's coverage is inspectable instead
+/// of implicit.
+std::vector<GatedMetric> ListGatedMetrics(const RunReport& baseline,
+                                          const DiffOptions& options);
+
 /// Compares `current` against `baseline`. A metric present in the baseline
 /// but absent from the current report counts as a regression (the bench
 /// stopped measuring something it promised); metrics new in `current` are

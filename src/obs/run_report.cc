@@ -11,6 +11,7 @@
 #include "obs/mem.h"
 #include "storage/file_io.h"
 #include "storage/fs.h"
+#include "util/build_info.h"
 #include "util/json.h"
 
 namespace tg::obs {
@@ -377,6 +378,11 @@ RunReport RunReport::Collect(const Registry& registry) {
       report.fault.push_back(std::move(event));
     }
   }
+  // Seed meta with the binary's identity; callers add run configuration on
+  // top (and may override, since this runs first).
+  for (const auto& [key, value] : util::BuildInfoMap()) {
+    report.meta[key] = value;
+  }
   return report;
 }
 
@@ -490,6 +496,33 @@ std::string RunReport::ToJson() const {
       out += "}";
     }
     out += "\n  ]";
+  }
+  if (prof.has_value()) {
+    out += ",\n  \"prof\": {\n    \"samples\": ";
+    AppendU64(prof->samples, &out);
+    out += ",\n    \"dropped\": ";
+    AppendU64(prof->dropped, &out);
+    out += ",\n    \"hz\": ";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", prof->hz);
+    out += buf;
+    out += ",\n    \"frames\": [";
+    first = true;
+    for (const ProfFrameRow& row : prof->frames) {
+      out += first ? "\n      " : ",\n      ";
+      first = false;
+      out += "{\"phase\": ";
+      AppendEscaped(row.phase, &out);
+      out += ", \"frame\": ";
+      AppendEscaped(row.frame, &out);
+      out += ", \"self\": ";
+      AppendU64(row.self, &out);
+      out += ", \"total\": ";
+      AppendU64(row.total, &out);
+      out += "}";
+    }
+    if (!prof->frames.empty()) out += "\n    ";
+    out += "]\n  }";
   }
   out += ",\n  \"series\": {";
   first = true;
@@ -605,6 +638,38 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
       OomReport report;
       ParseOomReport(cur, &report);
       out->oom = std::move(report);
+    } else if (section == "prof") {
+      ProfSection prof_section;
+      cur.ParseObject([&](const std::string& field) {
+        if (field == "samples") {
+          prof_section.samples = cur.ParseU64();
+        } else if (field == "dropped") {
+          prof_section.dropped = cur.ParseU64();
+        } else if (field == "hz") {
+          prof_section.hz = static_cast<int>(cur.ParseDouble());
+        } else if (field == "frames") {
+          cur.ParseArray([&] {
+            ProfFrameRow row;
+            cur.ParseObject([&](const std::string& key) {
+              if (key == "phase") {
+                cur.ParseString(&row.phase);
+              } else if (key == "frame") {
+                cur.ParseString(&row.frame);
+              } else if (key == "self") {
+                row.self = cur.ParseU64();
+              } else if (key == "total") {
+                row.total = cur.ParseU64();
+              } else {
+                cur.SkipValue();
+              }
+            });
+            prof_section.frames.push_back(std::move(row));
+          });
+        } else {
+          cur.SkipValue();
+        }
+      });
+      out->prof = std::move(prof_section);
     } else if (section == "fault") {
       cur.ParseArray([&] {
         Event event;
@@ -709,6 +774,22 @@ std::string RunReport::ToTable() const {
           << event.ordinal;
       if (!event.detail.empty()) out << "  " << event.detail;
       out << "\n";
+    }
+  }
+  if (prof.has_value()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "-- prof (%" PRIu64 " samples @ %d Hz, %" PRIu64
+                  " dropped) --\n",
+                  prof->samples, prof->hz, prof->dropped);
+    out << buf;
+    std::snprintf(buf, sizeof(buf), "  %-14s %8s %8s  %s\n", "phase", "self",
+                  "total", "frame");
+    out << buf;
+    for (const ProfFrameRow& row : prof->frames) {
+      std::snprintf(buf, sizeof(buf), "  %-14s %8" PRIu64 " %8" PRIu64 "  ",
+                    row.phase.c_str(), row.self, row.total);
+      out << buf << row.frame << "\n";
     }
   }
   if (oom.has_value()) {

@@ -29,6 +29,27 @@ struct TimeSeries {
   std::size_t size() const { return t.size(); }
 };
 
+/// One row of the RunReport "prof" section: a symbolized frame within an
+/// obs phase, with `self` (samples where the frame was the leaf) and
+/// `total` (samples with the frame anywhere on stack, counted once per
+/// sample) counts. Stall rows use the synthetic `[stall:<kind>]` frame
+/// name. Produced by prof::ExportTo.
+struct ProfFrameRow {
+  std::string phase;
+  std::string frame;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+/// The aggregated CPU-profile section of a RunReport: sampler totals plus
+/// the top frames per phase (see docs/OBSERVABILITY.md "Profiling").
+struct ProfSection {
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  int hz = 0;
+  std::vector<ProfFrameRow> frames;  ///< grouped by phase, hottest first
+};
+
 struct RunReport {
   /// One aggregated trace-span row (path + simulated machine tag).
   struct SpanRow {
@@ -58,10 +79,16 @@ struct RunReport {
   /// order. Serialized as the "fault" section; empty (and omitted from the
   /// JSON) on fault-free runs.
   std::vector<Event> fault;
+  /// Aggregated sampling-profiler output (serialized as the "prof"
+  /// section; absent when the run was not profiled). Filled by
+  /// prof::ExportTo, never by Collect.
+  std::optional<ProfSection> prof;
 
   /// Snapshots the registry. Counters/gauges/histograms/spans/machines are
   /// filled (plus `oom` from obs::LastOom and `fault` from the registry's
-  /// "fault.*" events); `meta` is left for the caller.
+  /// "fault.*" events), and `meta` is seeded with the `build.*` keys from
+  /// util/build_info so every report names the exact binary; the rest of
+  /// `meta` is left for the caller.
   static RunReport Collect(const Registry& registry = Registry::Global());
 
   /// Stable, pretty-printed JSON (schema in docs/OBSERVABILITY.md).

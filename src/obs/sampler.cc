@@ -159,6 +159,11 @@ void Sampler::SampleOnce(double t_seconds, double drift_ms) {
     if (name == "progress.edges") edges = value;
     record(name, value);
   }
+  // Resume credit: chunks a previous process already committed count as done
+  // work from t=0. The series above recorded the raw counter; everything
+  // rate/ETA/percent below sees the shifted value (the offset is constant,
+  // so the windowed rate is unaffected).
+  edges += static_cast<double>(options_.progress_initial_edges);
   for (const std::string& name : options_.gauges) {
     record(name, registry.GetGauge(name)->value());
   }

@@ -79,6 +79,15 @@ struct SamplerOptions {
   /// Reads the `progress.edges` counter (live, bumped per generated scope).
   bool print_progress = false;
   std::uint64_t progress_target_edges = 0;
+  /// Edges already durable before this process started (a --resume run's
+  /// committed journal chunks). Added to the live counter for the progress
+  /// percentage and ETA so resumed runs start at their true completion
+  /// fraction instead of 0% — without it the first ETA estimates treat the
+  /// whole remaining target as if it had to be generated at a rate measured
+  /// from a cold start. The recorded `progress.edges` series stays raw
+  /// (this-process edges only), and the rate is delta-based so the constant
+  /// offset cancels.
+  std::uint64_t progress_initial_edges = 0;
 };
 
 /// Process RSS in bytes (0 where /proc is unavailable).

@@ -1,14 +1,19 @@
 #include "obs/serve/admin_server.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/sampler.h"
 #include "obs/serve/prometheus.h"
 #include "obs/trace.h"
+#include "prof/folded.h"
+#include "prof/profiler.h"
+#include "util/build_info.h"
 
 namespace tg::obs::serve {
 
@@ -93,6 +98,77 @@ std::string SseFrame(const std::string& event, const std::string& data) {
   return "event: " + event + "\ndata: " + data + "\n\n";
 }
 
+/// Parses a bounded non-negative integer query parameter; `fallback` when
+/// absent or malformed.
+int QueryInt(const net::HttpRequest& request, const std::string& key,
+             int fallback, int max_value) {
+  auto it = request.query.find(key);
+  if (it == request.query.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || value < 0) return fallback;
+  return static_cast<int>(value < max_value ? value : max_value);
+}
+
+/// GET /pprof/profile?seconds=N[&hz=H]. seconds=0 (the default) returns the
+/// cumulative folded profile of the running profiler; seconds=N collects an
+/// interval profile — diffing two snapshots when the profiler is already
+/// running, or spinning up a temporary one when it is not. The admin server
+/// serves requests on one thread, so an interval collection blocks other
+/// endpoints for its (bounded, ≤60 s) duration.
+net::HttpResponse HandlePprofProfile(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  const int seconds = QueryInt(request, "seconds", 0, 60);
+  const bool was_running = prof::ProfilerRunning();
+
+  if (seconds == 0) {
+    const prof::ProfileSnapshot snapshot = prof::TakeSnapshot();
+    if (!was_running && snapshot.samples == 0 && snapshot.stalls.empty()) {
+      response.status = 409;
+      response.body =
+          "profiler not running (pass ?seconds=N to collect on demand, or "
+          "start the run with --profile / TG_PROFILE)\n";
+      return response;
+    }
+    response.body = prof::RenderFolded(snapshot);
+    return response;
+  }
+
+  if (!was_running) {
+    prof::ProfilerOptions options;
+    options.hz = QueryInt(request, "hz", options.hz, 1000);
+    Status started = prof::StartProfiler(options);
+    if (!started.ok()) {
+      response.status = 500;
+      response.body = "cannot start profiler: " + started.message() + "\n";
+      return response;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    response.body = prof::RenderFolded(prof::TakeSnapshot());
+    prof::StopProfiler();
+    return response;
+  }
+
+  const prof::ProfileSnapshot before = prof::TakeSnapshot();
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  response.body = prof::RenderFoldedDiff(before, prof::TakeSnapshot());
+  return response;
+}
+
+std::string PprofStatusJson() {
+  const prof::ProfilerStatus status = prof::GetStatus();
+  std::string out = "{";
+  out += std::string("\"running\": ") + (status.running ? "true" : "false");
+  out += ", \"hz\": " + std::to_string(status.hz);
+  out += ", \"samples\": " + std::to_string(status.samples);
+  out += ", \"dropped\": " + std::to_string(status.dropped);
+  out += ", \"threads\": " + std::to_string(status.threads);
+  out += ", \"ring_occupancy\": " + FormatDouble(status.ring_occupancy);
+  out += "}\n";
+  return out;
+}
+
 }  // namespace
 
 AdminServer::~AdminServer() { Stop(); }
@@ -162,7 +238,11 @@ net::HttpResponse AdminServer::Handle(const net::HttpRequest& request) {
 
   if (request.path == "/report.json") {
     RunReport report = RunReport::Collect(Registry::Global());
-    report.meta = options_.meta;
+    // Merge (not assign): Collect seeds build.* identity keys that the
+    // launcher's meta should extend, not clobber.
+    for (const auto& [key, value] : options_.meta) {
+      report.meta[key] = value;
+    }
     report.meta["live"] = "1";
     report.meta["phase"] = CurrentPhase();
     report.meta["uptime_seconds"] = FormatDouble(uptime_s);
@@ -191,14 +271,34 @@ net::HttpResponse AdminServer::Handle(const net::HttpRequest& request) {
     return response;
   }
 
+  if (request.path == "/buildz") {
+    response.content_type = "application/json";
+    response.body = util::BuildInfoJson();
+    return response;
+  }
+
+  if (request.path == "/pprof/profile") {
+    return HandlePprofProfile(request);
+  }
+
+  if (request.path == "/pprof/status") {
+    response.content_type = "application/json";
+    response.body = PprofStatusJson();
+    return response;
+  }
+
   if (request.path == "/") {
     response.body =
         "TrillionG admin server\n"
-        "  GET /healthz      liveness + current phase\n"
-        "  GET /metrics      Prometheus text exposition\n"
-        "  GET /report.json  live RunReport snapshot\n"
-        "  GET /events       SSE: sampler ticks + fault events\n"
-        "  GET /trace        Chrome Trace Event snapshot\n";
+        "  GET /healthz        liveness + current phase\n"
+        "  GET /metrics        Prometheus text exposition\n"
+        "  GET /report.json    live RunReport snapshot\n"
+        "  GET /events         SSE: sampler ticks + fault events\n"
+        "  GET /trace          Chrome Trace Event snapshot\n"
+        "  GET /buildz         binary identity (git, compiler, flags)\n"
+        "  GET /pprof/profile  folded CPU profile (?seconds=N collects on\n"
+        "                      demand and blocks this endpoint while doing so)\n"
+        "  GET /pprof/status   sampler rate, drops, ring occupancy\n";
     return response;
   }
 

@@ -16,6 +16,13 @@
 //   GET /events       SSE stream: sampler ticks (edges/sec, ETA, memory
 //                     pressure, tick drift) and obs events (fault.*) live
 //   GET /trace        Chrome Trace Event snapshot of the seqlock rings
+//   GET /buildz       binary identity: git describe, compiler, flags,
+//                     SIMD/io_uring configuration (util/build_info)
+//   GET /pprof/profile  folded CPU profile from tg::prof — cumulative when
+//                     the run was started with --profile, or collected on
+//                     demand with ?seconds=N (blocks the service thread
+//                     for the collection window)
+//   GET /pprof/status sampler rate, sample/drop counts, ring occupancy
 //
 // The server only *reads* observability state — generation output is
 // bit-identical with the server on or off (CI's admin-smoke job proves it).

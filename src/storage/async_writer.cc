@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "prof/profiler.h"
 #include "storage/uring.h"
 
 namespace tg::storage {
@@ -130,10 +131,13 @@ void AsyncFileWriter::EnqueueBlock(std::vector<char>&& data) {
     producer_cv_.wait(lock, [this] {
       return pending_blocks_ < kQueueDepth || backend_failed();
     });
-    stall_carry_us_ += static_cast<std::uint64_t>(
+    const std::uint64_t waited_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    stall_carry_us_ += waited_us;
+    // Off-CPU attribution: the producer sat blocked on a full write queue.
+    prof::RecordStall("writer", static_cast<double>(waited_us) * 1e-6);
     if (stall_carry_us_ >= 1000) {
       StallCounter()->Add(stall_carry_us_ / 1000);
       stall_carry_us_ %= 1000;
@@ -249,6 +253,7 @@ void AsyncFileWriter::RetireBlock(Block& block) {
 }
 
 void AsyncFileWriter::WriterLoop() {
+  prof::EnsureThreadRegistered();
   std::unique_lock<std::mutex> lock(mutex_);
   if (use_uring_) {
     WriterLoopUring(lock);

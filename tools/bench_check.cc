@@ -12,6 +12,9 @@
 //
 // --update rewrites the baseline from the current report (after printing the
 // diff) — the maintenance path when a change legitimately moves a metric.
+// --list needs only --baseline: it prints every metric the gate would check
+// with its resolved tolerance (plus the skipped ones), so the gate's
+// coverage is reviewable without running a bench.
 
 #include <cstdio>
 #include <string>
@@ -62,14 +65,17 @@ int main(int argc, char** argv) {
         "  [--no_histograms]        skip histogram count/sum comparison\n"
         "  [--verbose]              print every checked metric, not only FAILs\n"
         "  [--update]               rewrite the baseline from --current\n"
+        "  [--list]                 print the gated metrics and tolerances for\n"
+        "                           --baseline (no --current needed), exit 0\n"
         "exit status: 0 ok, 1 regression, 2 usage/io error\n",
         flags.program_name().c_str());
     return 0;
   }
 
+  const bool list_only = flags.GetBool("list", false);
   const std::string baseline_path = flags.GetString("baseline", "");
   const std::string current_path = flags.GetString("current", "");
-  if (baseline_path.empty() || current_path.empty()) {
+  if (baseline_path.empty() || (current_path.empty() && !list_only)) {
     std::fprintf(stderr, "--baseline and --current are required (--help)\n");
     return 2;
   }
@@ -79,13 +85,6 @@ int main(int argc, char** argv) {
   if (!s.ok()) {
     std::fprintf(stderr, "bench_check: baseline %s: %s\n",
                  baseline_path.c_str(), s.ToString().c_str());
-    return 2;
-  }
-  tg::obs::RunReport current;
-  s = LoadReport(current_path, &current);
-  if (!s.ok()) {
-    std::fprintf(stderr, "bench_check: current %s: %s\n", current_path.c_str(),
-                 s.ToString().c_str());
     return 2;
   }
 
@@ -107,6 +106,30 @@ int main(int argc, char** argv) {
     }
     options.tolerances[spec.substr(0, eq)] =
         std::strtod(spec.c_str() + eq + 1, nullptr);
+  }
+
+  if (list_only) {
+    int checked = 0;
+    int skipped = 0;
+    std::printf("%-52s %-10s %9s  %s\n", "metric", "kind", "tol", "gate");
+    for (const tg::obs::GatedMetric& metric :
+         tg::obs::ListGatedMetrics(baseline, options)) {
+      std::printf("%-52s %-10s %9.2g  %s\n", metric.name.c_str(),
+                  metric.kind.c_str(), metric.rel_tol,
+                  metric.skipped ? "skipped" : "checked");
+      (metric.skipped ? skipped : checked) += 1;
+    }
+    std::printf("%d metric(s) gated, %d skipped (baseline %s)\n", checked,
+                skipped, baseline_path.c_str());
+    return 0;
+  }
+
+  tg::obs::RunReport current;
+  s = LoadReport(current_path, &current);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_check: current %s: %s\n", current_path.c_str(),
+                 s.ToString().c_str());
+    return 2;
   }
 
   tg::obs::DiffResult result =
