@@ -24,5 +24,6 @@ tg_add_bench(bench_fig12_scalability)
 tg_add_bench(bench_fig13_ideas)
 tg_add_bench(bench_fig14_graph500)
 tg_add_bench(bench_io_throughput)
+tg_add_bench(bench_serve)
 tg_add_bench(bench_ablation_partition)
 tg_add_bench(bench_ablation_precision)

@@ -112,10 +112,15 @@ class AvsRangeGenerator {
 
   /// `noise` must outlive the generator. `num_edges` is the global |E| of
   /// Theorem 1. `budget`, if non-null, models the per-machine memory cap.
+  /// `shared_tables`, if non-null, must hold prefix tables built from an
+  /// identical noise vector (the serve daemon's artifact cache memoizes
+  /// them by model fingerprint); the generator then skips its own build and
+  /// charges nothing — the cache owns and accounts for the bytes.
   AvsRangeGenerator(const model::NoiseVector* noise, std::uint64_t num_edges,
                     const DeterminerOptions& opts,
                     MemoryBudget* budget = nullptr,
-                    bool exclude_self_loops = false)
+                    bool exclude_self_loops = false,
+                    const AvsPrefixTables* shared_tables = nullptr)
       : noise_(noise),
         num_edges_(num_edges),
         opts_(opts),
@@ -145,11 +150,16 @@ class AvsRangeGenerator {
                   opts_.reuse_rec_vec && opts_.reduce_recursions &&
                   opts_.reuse_random_value;
     if (use_tables_) {
-      tables_.Build(*noise_);
-      // The tables are a per-generator (not per-scope) allocation, shared by
-      // all workers; charge them once for the generator's lifetime.
-      tables_mem_.emplace(budget_, tables_.MemoryBytes(),
-                          "core.prefix_tables");
+      if (shared_tables != nullptr) {
+        tables_view_ = shared_tables;
+      } else {
+        tables_.Build(*noise_);
+        // The tables are a per-generator (not per-scope) allocation, shared
+        // by all workers; charge them once for the generator's lifetime.
+        tables_mem_.emplace(budget_, tables_.MemoryBytes(),
+                            "core.prefix_tables");
+        tables_view_ = &tables_;
+      }
     }
   }
 
@@ -299,7 +309,9 @@ class AvsRangeGenerator {
 
   /// Read-only access to the prefix tables (empty unless the table kernel is
   /// active). Used by the inversion-equivalence tests.
-  const AvsPrefixTables& prefix_tables() const { return tables_; }
+  const AvsPrefixTables& prefix_tables() const {
+    return tables_view_ != nullptr ? *tables_view_ : tables_;
+  }
 
  private:
   static constexpr bool kRealIsDouble = std::is_same_v<Real, double>;
@@ -315,7 +327,7 @@ class AvsRangeGenerator {
     // Same fork namespace as rng::Rng::Fork: deterministic per (root, u),
     // independent of which worker or chunk runs the scope.
     rng::LaneRng lane(rng::MixSeeds(root.StreamKey(), u + 1));
-    const AvsPrefixTables::ScopeView view = tables_.ViewFor(u);
+    const AvsPrefixTables::ScopeView view = tables_view_->ViewFor(u);
 
     const std::uint64_t degree =
         SampleScopeSize(num_edges_, view.total, num_vertices_, &lane);
@@ -360,7 +372,7 @@ class AvsRangeGenerator {
       attempts += block;
       stats->cdf_evaluations += block;
       for (std::uint64_t i = 0; i < block; ++i) {
-        accept(tables_.Invert(view, xs[i]));
+        accept(tables_view_->Invert(view, xs[i]));
       }
     }
 
@@ -390,6 +402,9 @@ class AvsRangeGenerator {
   obs::Counter* live_edges_;
   bool use_tables_ = false;
   AvsPrefixTables tables_;
+  /// The tables the hot path reads: &tables_ normally, the caller's shared
+  /// instance when one was injected. Null only when use_tables_ is false.
+  const AvsPrefixTables* tables_view_ = nullptr;
   std::optional<ScopedAllocation> tables_mem_;
 };
 

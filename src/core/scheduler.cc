@@ -136,6 +136,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   }
 
   std::atomic<bool> abort{false};
+  std::atomic<bool> cancelled{false};
   std::mutex error_mu;
   std::exception_ptr first_error;
   std::atomic<std::uint64_t> executed{0};
@@ -254,6 +255,13 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
       double slow_factor = 1.0;
       int transient_attempts = 0;
       while (!abort.load(std::memory_order_relaxed)) {
+        // Cancellation is a chunk-boundary event like an injected crash:
+        // the chunk in flight commits, nothing further is taken.
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_acquire)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
         if (faulty) {
           // Chunk boundary: consult the injector before taking more work.
           // Crashes take effect here, so a chunk in flight always commits.
@@ -336,7 +344,18 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
     exit_wall[w] = run_timer.ElapsedSeconds();
   };
 
-  if (num_workers == 1) {
+  if (options.worker_runner) {
+    // External executor (the serve daemon's shared pool): hand over the
+    // bodies and block until the pool has run them all. Safe at any real
+    // parallelism — a body that starts late finds its deque already stolen
+    // empty and exits.
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      bodies.push_back([&worker_body, w] { worker_body(w); });
+    }
+    options.worker_runner(bodies);
+  } else if (num_workers == 1) {
     worker_body(0);
   } else {
     std::vector<std::thread> threads;
@@ -359,7 +378,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   }
 
   if (first_error) std::rethrow_exception(first_error);
-  if (faulty) {
+  if (faulty && !cancelled.load(std::memory_order_relaxed)) {
     const std::uint64_t lost = outstanding.load(std::memory_order_acquire);
     if (lost != 0) {
       // Every worker exited through the crash path: no machine survived to
@@ -372,6 +391,7 @@ SchedulerStats RunWorkStealing(const std::vector<std::vector<Chunk>>& queues,
   }
 
   SchedulerStats stats;
+  stats.cancelled = cancelled.load(std::memory_order_relaxed);
   stats.num_chunks = executed.load(std::memory_order_relaxed);
   stats.num_steals = steals.load(std::memory_order_relaxed);
   stats.num_recovered = recovered_chunks.load(std::memory_order_relaxed);

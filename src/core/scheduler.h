@@ -15,6 +15,7 @@
 #ifndef TRILLIONG_CORE_SCHEDULER_H_
 #define TRILLIONG_CORE_SCHEDULER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -112,6 +113,24 @@ struct SchedulerOptions {
   /// scopes are flushed to the sink (and before Finish on the last chunk).
   /// gen_cli uses this to checkpoint the sink and append to the journal.
   std::function<void(const Chunk& chunk, ScopeSink* sink)> on_chunk_commit;
+
+  /// Cooperative cancellation, observed at chunk boundaries (not owned).
+  /// Once it reads true, workers stop taking chunks and the run returns
+  /// with SchedulerStats::cancelled set; sinks of unfinished ranges never
+  /// see Finish(). Everything committed before the flag flipped is exactly
+  /// the prefix an uncancelled run would have committed — the property the
+  /// serve daemon's disconnect-cancel and gen_cli's SIGINT drain rely on.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Runs the per-worker bodies to completion. Null (the default) spawns
+  /// one std::thread per body and joins them. The serve daemon injects its
+  /// shared persistent pool here so every tenant's chunks execute on one
+  /// bounded set of threads. Contract: each body must run exactly once and
+  /// the call must not return before all bodies have; order and real
+  /// parallelism are free — any single worker drains all remaining chunks
+  /// by stealing, so even sequential execution completes the run.
+  std::function<void(std::vector<std::function<void()>>& bodies)>
+      worker_runner;
 };
 
 /// What the engine measured about one run.
@@ -125,6 +144,9 @@ struct SchedulerStats {
   double imbalance = 1.0;
   double max_worker_cpu_seconds = 0.0;
   std::vector<double> worker_cpu_seconds;  ///< one entry per worker
+  /// True when SchedulerOptions::cancel stopped the run before every chunk
+  /// committed. Unfinished ranges' sinks did not receive Finish().
+  bool cancelled = false;
 };
 
 /// Computes `imbalance` (max/mean, 1.0 when idle) from per-worker CPU times.

@@ -14,12 +14,10 @@
 
 namespace tg::core {
 
-namespace {
-
 /// Builds the per-level seed matrices for the run. AVS-I generates with the
 /// transposed seed (the noisy transpose equals the transpose of the noisy
 /// matrix because Definition 3 perturbs b and c symmetrically).
-model::NoiseVector MakeNoise(const TrillionGConfig& config) {
+model::NoiseVector MakeRunNoise(const TrillionGConfig& config) {
   model::SeedMatrix seed = config.direction == Direction::kOut
                                ? config.seed
                                : config.seed.Transposed();
@@ -30,6 +28,8 @@ model::NoiseVector MakeNoise(const TrillionGConfig& config) {
   return model::NoiseVector(seed, config.scale, config.noise, &noise_rng);
 }
 
+namespace {
+
 template <typename Real>
 GenerateStats RunTyped(const TrillionGConfig& config,
                        const SinkFactory& sink_factory) {
@@ -37,9 +37,15 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   GenerateStats stats;
   Stopwatch watch;
 
-  const model::NoiseVector noise = MakeNoise(config);
+  const model::NoiseVector noise = MakeRunNoise(config);
   obs::SetCurrentPhase("partition");
-  const std::vector<VertexId> boundaries = [&] {
+  const std::vector<VertexId> boundaries = [&]() -> std::vector<VertexId> {
+    if (!config.precomputed_boundaries.empty()) {
+      TG_CHECK_MSG(static_cast<int>(config.precomputed_boundaries.size()) ==
+                       config.num_workers + 1,
+                   "precomputed_boundaries must hold num_workers + 1 entries");
+      return config.precomputed_boundaries;
+    }
     TG_SPAN("partition");
     return PartitionByCdf(noise, config.num_workers);
   }();
@@ -51,7 +57,8 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   const rng::Rng root(config.rng_seed, /*stream=*/1);
   AvsRangeGenerator<Real> generator(&noise, config.NumEdges(),
                                     config.determiner, config.budget,
-                                    config.exclude_self_loops);
+                                    config.exclude_self_loops,
+                                    config.shared_prefix_tables);
 
   std::vector<AvsWorkerStats> worker_stats(config.num_workers);
   std::vector<double> worker_cpu(config.num_workers, 0.0);
@@ -61,7 +68,8 @@ GenerateStats RunTyped(const TrillionGConfig& config,
   // even for a single worker.
   const bool needs_scheduler =
       (config.fault_injector != nullptr && config.fault_injector->armed()) ||
-      config.chunk_commit_hook != nullptr || !config.resume_next_seq.empty();
+      config.chunk_commit_hook != nullptr || !config.resume_next_seq.empty() ||
+      config.cancel_flag != nullptr || config.worker_runner != nullptr;
 
   if (config.num_workers == 1 && !needs_scheduler) {
     // Single worker: no scheduling to do — run directly on the calling
@@ -112,6 +120,8 @@ GenerateStats RunTyped(const TrillionGConfig& config,
     sched_options.fault_injector = config.fault_injector;
     sched_options.resume_next_seq = config.resume_next_seq;
     sched_options.on_chunk_commit = config.chunk_commit_hook;
+    sched_options.cancel = config.cancel_flag;
+    sched_options.worker_runner = config.worker_runner;
     const SchedulerStats sched =
         RunWorkStealing(queues, sink_ptrs, make_worker, sched_options);
     worker_cpu = sched.worker_cpu_seconds;
@@ -119,6 +129,7 @@ GenerateStats RunTyped(const TrillionGConfig& config,
     stats.sched_steals = sched.num_steals;
     stats.sched_recovered = sched.num_recovered;
     stats.sched_imbalance = sched.imbalance;
+    stats.cancelled = sched.cancelled;
   }
 
   AvsWorkerStats merged;

@@ -1,6 +1,7 @@
 #ifndef TRILLIONG_CORE_TRILLIONG_H_
 #define TRILLIONG_CORE_TRILLIONG_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "util/memory_budget.h"
 
 namespace tg::core {
+
+class AvsPrefixTables;
 
 /// RecVec arithmetic precision (Section 5: TrillionG uses BigDecimal; our
 /// DoubleDouble plays that role — see DESIGN.md).
@@ -70,6 +73,31 @@ struct TrillionGConfig {
   /// scheduler path.
   std::function<void(const Chunk&, ScopeSink*)> chunk_commit_hook;
 
+  /// Cooperative cancellation flag (not owned), observed at chunk
+  /// boundaries: once true, no further chunks are taken and Generate
+  /// returns with GenerateStats::cancelled set. Non-null forces the
+  /// scheduler path even for one worker, so the committed prefix is exactly
+  /// what an uncancelled run would have committed (bit-identical resume).
+  const std::atomic<bool>* cancel_flag = nullptr;
+
+  /// Precomputed worker-range boundaries (size num_workers + 1), exactly
+  /// what PartitionByCdf(noise, num_workers) would return for this config.
+  /// Empty (the default) computes them; the serve daemon's artifact cache
+  /// injects memoized plans here. Output bytes are identical either way.
+  std::vector<VertexId> precomputed_boundaries;
+
+  /// Prefix tables already built for this config's noise vector (not
+  /// owned; must outlive the run). Skips the per-run table build when the
+  /// table kernel is eligible; ignored otherwise (DoubleDouble precision,
+  /// ablations). The serve daemon's artifact cache shares one instance
+  /// across requests with the same model parameters.
+  const AvsPrefixTables* shared_prefix_tables = nullptr;
+
+  /// Worker-thread executor override (SchedulerOptions::worker_runner):
+  /// null spawns one thread per worker; the serve daemon injects its shared
+  /// persistent pool. Non-null forces the scheduler path.
+  std::function<void(std::vector<std::function<void()>>&)> worker_runner;
+
   std::uint64_t NumVertices() const { return std::uint64_t{1} << scale; }
   std::uint64_t NumEdges() const {
     if (num_edges != 0) return num_edges;
@@ -114,6 +142,9 @@ struct GenerateStats {
   std::uint64_t sched_recovered = 0;
   /// max/mean per-worker CPU seconds; 1.0 is perfectly balanced.
   double sched_imbalance = 1.0;
+  /// True when TrillionGConfig::cancel_flag stopped the run early; the
+  /// outputs hold a clean committed prefix, not the whole graph.
+  bool cancelled = false;
 };
 
 /// Creates one sink per worker. Called before generation starts, with the
@@ -132,6 +163,12 @@ GenerateStats Generate(const TrillionGConfig& config,
 /// Convenience: generation into a single caller-provided sink; only valid
 /// with num_workers == 1.
 GenerateStats GenerateToSink(const TrillionGConfig& config, ScopeSink* sink);
+
+/// The per-level noise vector a Generate() run over `config` would build
+/// (AVS-I transposes the seed; NSKG perturbs from the run's dedicated RNG
+/// stream). Exposed so the serve daemon's artifact cache can precompute
+/// partition plans and prefix tables bit-identical to the run's own.
+model::NoiseVector MakeRunNoise(const TrillionGConfig& config);
 
 }  // namespace tg::core
 

@@ -12,6 +12,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace tg::net {
@@ -25,9 +26,13 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default:  return "Unknown";
   }
 }
@@ -265,6 +270,34 @@ std::size_t HttpServer::SubscriberCount(const std::string& channel) const {
   return n;
 }
 
+std::size_t HttpServer::ChannelBacklogBytes(const std::string& channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t backlog = 0;
+  for (const auto& conn : conns_) {
+    if (conn->channel == channel && !conn->broken) {
+      backlog = std::max(backlog, conn->out.size());
+    }
+  }
+  return backlog;
+}
+
+void HttpServer::CloseChannel(const std::string& channel, bool graceful) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  bool any = false;
+  for (auto& conn : conns_) {
+    if (conn->channel == channel && !conn->broken) {
+      if (graceful) AppendLastChunk(&conn->out);
+      conn->close_after_write = true;
+      any = true;
+    }
+  }
+  if (any) {
+    char byte = 'c';
+    (void)!::write(wake_fds_[1], &byte, 1);
+  }
+}
+
 void HttpServer::Loop() {
   std::vector<pollfd> fds;
   std::vector<Connection*> polled;
@@ -413,20 +446,58 @@ bool HttpServer::ServiceInput(Connection* conn) {
       RespondError(conn, 400, "malformed request\n");
       return true;
     }
+
+    // Body policy. With bodies disabled (the admin plane) any advertised
+    // body is rejected before the method check — the historical contract.
+    // With bodies enabled, POST must carry a bounded Content-Length and the
+    // request is dispatched only once the whole body has been buffered.
+    std::uint64_t body_len = 0;
+    const auto length_it = request.headers.find("content-length");
+    if (length_it != request.headers.end()) {
+      char* end = nullptr;
+      body_len = std::strtoull(length_it->second.c_str(), &end, 10);
+      if (end == length_it->second.c_str() || *end != '\0') {
+        RespondError(conn, 400, "malformed Content-Length\n");
+        return true;
+      }
+    }
+    const bool read_only_method =
+        request.method == "GET" || request.method == "HEAD";
+    if (options_.max_body_bytes == 0 || read_only_method) {
+      if (body_len != 0) {
+        RespondError(conn, 413, "request bodies not supported\n");
+        return true;
+      }
+      if (!read_only_method) {
+        const char* text = options_.max_body_bytes == 0
+                               ? "only GET and HEAD are supported\n"
+                               : "only GET, HEAD, and POST are supported\n";
+        RespondError(conn, 405, text);
+        return true;
+      }
+    } else {
+      if (request.method != "POST") {
+        RespondError(conn, 405, "only GET, HEAD, and POST are supported\n");
+        return true;
+      }
+      if (length_it == request.headers.end()) {
+        RespondError(conn, 411, "POST requires Content-Length\n");
+        return true;
+      }
+      if (body_len > options_.max_body_bytes) {
+        RespondError(conn, 413, "request body too large\n");
+        return true;
+      }
+      if (in_snapshot.size() < header_end + 4 + body_len) {
+        return true;  // wait for the rest of the body
+      }
+      request.body = in_snapshot.substr(header_end + 4,
+                                        static_cast<std::size_t>(body_len));
+    }
     {
       // Consume the parsed request (pipelined requests keep the tail).
       std::lock_guard<std::mutex> lock(mu_);
-      conn->in.erase(0, header_end + 4);
-    }
-
-    if (request.headers.count("content-length") &&
-        request.headers["content-length"] != "0") {
-      RespondError(conn, 413, "request bodies not supported\n");
-      return true;
-    }
-    if (request.method != "GET" && request.method != "HEAD") {
-      RespondError(conn, 405, "only GET and HEAD are supported\n");
-      return true;
+      conn->in.erase(0, header_end + 4 + request.body.size());
     }
 
     HttpResponse response;
@@ -438,12 +509,15 @@ bool HttpServer::ServiceInput(Connection* conn) {
       response.body = std::string("handler error: ") + e.what() + "\n";
     }
     Respond(conn, request, response);
-    if (conn->close_after_write) {
-      // The connection closes once this response flushes; drop any
-      // pipelined tail rather than answering past the close.
+    {
       std::lock_guard<std::mutex> lock(mu_);
-      conn->in.clear();
-      return true;
+      if (conn->close_after_write || !conn->channel.empty()) {
+        // The connection closes once this response flushes (or when its
+        // stream channel does); drop any pipelined tail rather than
+        // answering past the close.
+        conn->in.clear();
+        return true;
+      }
     }
   }
 }
@@ -491,7 +565,10 @@ void HttpServer::Respond(Connection* conn, const HttpRequest& request,
   std::lock_guard<std::mutex> lock(mu_);
   conn->out += out;
   if (streaming) conn->channel = response.stream_channel;
-  if (close) conn->close_after_write = true;
+  // A subscribed connection outlives this response: it closes when its
+  // channel does (CloseChannel sets close_after_write then), not when the
+  // headers flush — even if the client sent Connection: close.
+  if (close && !streaming) conn->close_after_write = true;
 }
 
 void HttpServer::RespondError(Connection* conn, int status,

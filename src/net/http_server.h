@@ -1,17 +1,21 @@
 // net/http_server.h — a minimal poll-based HTTP/1.1 server: the network
-// substrate of the live observability plane (src/obs/serve/) and, by design,
-// of the future `tg::serve` generation daemon (ROADMAP item 1). No third
-// party dependencies: one listener socket, one service thread multiplexing
-// every connection through poll(2), bounded request parsing, and response
-// writers for plain bodies, chunked transfer, and Server-Sent Event streams.
+// substrate of the live observability plane (src/obs/serve/) and of the
+// `tg::serve` generation daemon (src/serve/). No third party dependencies:
+// one listener socket, one service thread multiplexing every connection
+// through poll(2), bounded request parsing, and response writers for plain
+// bodies, chunked transfer, and long-lived chunk streams (Server-Sent
+// Events or binary graph shards).
 //
-// Scope is deliberately narrow — GET/HEAD only, no request bodies, loopback
-// bind by default — because every current consumer is a read-only admin
-// surface. What it does support is exactly what a pull-based monitoring
-// plane needs: keep-alive with pipelining (Prometheus scrapers reuse
-// connections), long-lived streaming responses fed from other threads
-// (Broadcast), and hard limits on request size so a misbehaving client
-// cannot grow server-side buffers.
+// Scope is deliberately narrow. By default the server is the read-only
+// admin surface: GET/HEAD only, no request bodies, loopback bind. Setting
+// Options::max_body_bytes > 0 additionally admits POST with a bounded
+// Content-Length body (411 when the length is missing, 413 over the cap) —
+// the serve daemon's request ingress. Either way the server supports
+// exactly what its two consumers need: keep-alive with pipelining
+// (Prometheus scrapers reuse connections), long-lived streaming responses
+// fed from other threads (Broadcast) with producer-visible backpressure
+// (ChannelBacklogBytes), and hard limits on request size so a misbehaving
+// client cannot grow server-side buffers.
 #ifndef TRILLIONG_NET_HTTP_SERVER_H_
 #define TRILLIONG_NET_HTTP_SERVER_H_
 
@@ -32,11 +36,14 @@ namespace tg::net {
 /// One parsed request. Header names are lower-cased; the query string is
 /// split into decoded key=value pairs.
 struct HttpRequest {
-  std::string method;  ///< "GET", "HEAD", ...
+  std::string method;  ///< "GET", "HEAD", "POST" (with bodies enabled)
   std::string target;  ///< raw request target, e.g. "/metrics?name=avs"
   std::string path;    ///< target up to the first '?'
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;
+  /// POST body, complete before the handler runs (the service thread waits
+  /// for Content-Length bytes). Empty unless Options::max_body_bytes > 0.
+  std::string body;
 };
 
 /// What a handler returns. Plain responses carry `body` and are written with
@@ -73,6 +80,13 @@ class HttpServer {
     std::size_t max_request_bytes = 16 * 1024;
     /// Accepted connections beyond this are closed immediately.
     int max_connections = 64;
+    /// 0 (default) keeps the server read-only: any request advertising a
+    /// body is answered 413 and POST is answered 405, exactly the admin
+    /// plane's historical contract. > 0 admits POST whose Content-Length is
+    /// at most this many bytes: a missing length is answered 411, an
+    /// over-cap one 413, and the handler runs only once the whole body has
+    /// arrived (HttpRequest::body).
+    std::size_t max_body_bytes = 0;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -84,7 +98,8 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Binds, listens, and spawns the service thread. `handler` is called for
-  /// every well-formed GET/HEAD request.
+  /// every well-formed GET/HEAD request (and POST, when
+  /// Options::max_body_bytes > 0).
   Status Start(const Options& options, Handler handler);
 
   /// Closes the listener and every connection and joins the thread.
@@ -105,13 +120,28 @@ class HttpServer {
   /// Current number of connections subscribed to `channel`.
   std::size_t SubscriberCount(const std::string& channel) const;
 
+  /// Largest unsent out-buffer among `channel`'s subscribers — the
+  /// producer-side backpressure signal. A producer that pauses while this
+  /// exceeds its watermark bounds per-connection memory: the buffer only
+  /// grows as fast as the slowest client drains it plus one producer burst.
+  std::size_t ChannelBacklogBytes(const std::string& channel) const;
+
+  /// Ends the stream on every connection subscribed to `channel`: appends
+  /// the terminating zero-length chunk (unless `graceful` is false — an
+  /// abort, letting the client detect truncation by the missing terminator)
+  /// and closes each connection once its buffer drains. Callable from any
+  /// thread.
+  void CloseChannel(const std::string& channel, bool graceful = true);
+
  private:
   struct Connection {
     int fd = -1;
     std::string in;         ///< bytes received, not yet parsed; guarded by mu_
     std::string out;        ///< bytes to send; guarded by mu_
     std::string channel;    ///< non-empty: streaming subscriber; guarded by mu_
-    bool close_after_write = false;  ///< service thread only
+    /// Atomic: the service thread reads it outside mu_ while CloseChannel
+    /// sets it from producer threads (under mu_).
+    std::atomic<bool> close_after_write{false};
     /// Atomic because the service thread marks connections broken outside
     /// mu_ (read/write loops) while Broadcast/SubscriberCount read it under
     /// mu_ from other threads.

@@ -185,24 +185,13 @@ Status AdminServer::Start(const AdminOptions& options) {
       http, [this](const net::HttpRequest& request) { return Handle(request); });
   if (!started.ok()) return started;
 
-  // Feed /events: sampler ticks and obs events (fault schedule, ...) are
-  // fanned out as SSE frames. Broadcast is cheap with no subscribers, so
-  // installing the hooks unconditionally costs nothing on idle servers.
-  SetTickListener([this](const TickSample& tick) {
-    server_.Broadcast(kEventsChannel, SseFrame("tick", TickJson(tick)));
-  });
-  SetEventObserver([this](const Event& event) {
-    const bool fault = event.kind.rfind("fault.", 0) == 0;
-    server_.Broadcast(kEventsChannel,
-                      SseFrame(fault ? "fault" : "event", EventJson(event)));
-  });
+  InstallEventStreamBridges(&server_);
   return Status::Ok();
 }
 
 void AdminServer::Stop() {
   if (!server_.running()) return;
-  SetTickListener(nullptr);
-  SetEventObserver(nullptr);
+  InstallEventStreamBridges(nullptr);
   server_.Stop();
 }
 
@@ -216,11 +205,36 @@ int AdminServer::PortFromEnv() {
 }
 
 net::HttpResponse AdminServer::Handle(const net::HttpRequest& request) {
-  net::HttpResponse response;
   const double uptime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
           .count();
+  return HandleAdminRequest(request, options_.meta, uptime_s);
+}
+
+void InstallEventStreamBridges(net::HttpServer* server) {
+  if (server == nullptr) {
+    SetTickListener(nullptr);
+    SetEventObserver(nullptr);
+    return;
+  }
+  // Feed /events: sampler ticks and obs events (fault schedule, ...) are
+  // fanned out as SSE frames. Broadcast is cheap with no subscribers, so
+  // installing the hooks unconditionally costs nothing on idle servers.
+  SetTickListener([server](const TickSample& tick) {
+    server->Broadcast(kEventsChannel, SseFrame("tick", TickJson(tick)));
+  });
+  SetEventObserver([server](const Event& event) {
+    const bool fault = event.kind.rfind("fault.", 0) == 0;
+    server->Broadcast(kEventsChannel,
+                      SseFrame(fault ? "fault" : "event", EventJson(event)));
+  });
+}
+
+net::HttpResponse HandleAdminRequest(
+    const net::HttpRequest& request,
+    const std::map<std::string, std::string>& meta, double uptime_s) {
+  net::HttpResponse response;
 
   if (request.path == "/healthz") {
     char line[128];
@@ -240,7 +254,7 @@ net::HttpResponse AdminServer::Handle(const net::HttpRequest& request) {
     RunReport report = RunReport::Collect(Registry::Global());
     // Merge (not assign): Collect seeds build.* identity keys that the
     // launcher's meta should extend, not clobber.
-    for (const auto& [key, value] : options_.meta) {
+    for (const auto& [key, value] : meta) {
       report.meta[key] = value;
     }
     report.meta["live"] = "1";

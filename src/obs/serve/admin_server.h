@@ -78,6 +78,21 @@ class AdminServer {
   std::chrono::steady_clock::time_point start_time_;
 };
 
+/// The endpoint logic behind AdminServer, reusable by any HttpServer host:
+/// the tg::serve daemon mounts these same routes next to POST /generate so
+/// one port carries both the data plane and its observability. Dispatches
+/// on request.path; unknown paths get the 404 with the endpoint index.
+/// `meta` is merged into /report.json snapshots.
+net::HttpResponse HandleAdminRequest(const net::HttpRequest& request,
+                                     const std::map<std::string, std::string>& meta,
+                                     double uptime_seconds);
+
+/// Installs the sampler tick listener and obs event observer that fan out
+/// SSE frames on `server`'s "events" channel (what GET /events subscribes
+/// to). Pass nullptr to remove the hooks. The hooks hold a raw pointer, so
+/// remove them before the server is destroyed.
+void InstallEventStreamBridges(net::HttpServer* server);
+
 }  // namespace tg::obs::serve
 
 #endif  // TRILLIONG_OBS_SERVE_ADMIN_SERVER_H_

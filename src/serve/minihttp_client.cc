@@ -1,0 +1,233 @@
+#include "serve/minihttp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace tg::serve {
+
+namespace {
+
+class Socket {
+ public:
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+int Connect(const std::string& host, int port, int timeout_ms,
+            std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket: " + std::string(std::strerror(errno));
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data, std::string* error) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) {
+      *error = "send: " + std::string(std::strerror(errno));
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Feeds de-chunked body bytes into the response (and the callback).
+/// Returns false when the callback asked to disconnect.
+bool DeliverBody(const ClientOptions& options, ClientResponse* out,
+                 const char* data, std::size_t n) {
+  out->body.append(data, n);
+  if (options.on_body && !options.on_body(data, n)) return false;
+  return true;
+}
+
+ClientResponse Execute(const std::string& host, int port,
+                       const std::string& request_text,
+                       const ClientOptions& options) {
+  ClientResponse out;
+  const int raw_fd = Connect(host, port, options.timeout_ms, &out.error);
+  if (raw_fd < 0) return out;
+  Socket sock(raw_fd);
+  if (!SendAll(sock.fd(), request_text, &out.error)) return out;
+
+  // Read headers.
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[16 * 1024];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      out.error = n == 0 ? "connection closed before headers"
+                         : "recv: " + std::string(std::strerror(errno));
+      return out;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+    if (buf.size() > 1 * 1024 * 1024) {
+      out.error = "response headers too large";
+      return out;
+    }
+  }
+
+  const std::string head = buf.substr(0, header_end);
+  std::string rest = buf.substr(header_end + 4);
+
+  // Status line: HTTP/1.1 NNN Reason
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string::npos) {
+    out.error = "malformed status line";
+    return out;
+  }
+  out.status = std::atoi(head.c_str() + sp + 1);
+
+  std::size_t line_start = head.find("\r\n");
+  while (line_start != std::string::npos && line_start + 2 < head.size()) {
+    line_start += 2;
+    std::size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(line_start, line_end - line_start);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string value = line.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      value = first == std::string::npos ? "" : value.substr(first);
+      out.headers[Lower(line.substr(0, colon))] = value;
+    }
+    line_start = line_end;
+  }
+
+  const bool chunked =
+      Lower(out.headers.count("transfer-encoding")
+                ? out.headers["transfer-encoding"]
+                : "") == "chunked";
+
+  if (!chunked) {
+    std::uint64_t content_length = 0;
+    const bool has_length = out.headers.count("content-length") != 0;
+    if (has_length) {
+      content_length = std::strtoull(
+          out.headers["content-length"].c_str(), nullptr, 10);
+    }
+    if (!rest.empty() && !DeliverBody(options, &out, rest.data(), rest.size()))
+      return out;
+    while (!has_length || out.body.size() < content_length) {
+      const ssize_t n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        // Without Content-Length, EOF is the normal terminator.
+        out.truncated = has_length && out.body.size() < content_length;
+        return out;
+      }
+      if (!DeliverBody(options, &out, chunk, static_cast<std::size_t>(n)))
+        return out;
+    }
+    return out;
+  }
+
+  // Chunked transfer: parse <hex-size>\r\n<data>\r\n ... 0\r\n\r\n from a
+  // rolling buffer.
+  std::string stream = std::move(rest);
+  for (;;) {
+    const std::size_t eol = stream.find("\r\n");
+    if (eol == std::string::npos) {
+      const ssize_t n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        out.truncated = true;
+        return out;
+      }
+      stream.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::uint64_t size =
+        std::strtoull(stream.substr(0, eol).c_str(), nullptr, 16);
+    if (size == 0) return out;  // terminal chunk; ignore trailers
+    while (stream.size() < eol + 2 + size + 2) {
+      const ssize_t n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        // Deliver the durable part of the torn chunk, then report truncation.
+        const std::size_t have =
+            std::min<std::size_t>(stream.size() - (eol + 2),
+                                  static_cast<std::size_t>(size));
+        if (have > 0) DeliverBody(options, &out, stream.data() + eol + 2, have);
+        out.truncated = true;
+        return out;
+      }
+      stream.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (!DeliverBody(options, &out, stream.data() + eol + 2,
+                     static_cast<std::size_t>(size))) {
+      return out;
+    }
+    stream.erase(0, eol + 2 + static_cast<std::size_t>(size) + 2);
+  }
+}
+
+}  // namespace
+
+ClientResponse HttpPost(const std::string& host, int port,
+                        const std::string& path, const std::string& body,
+                        const std::string& content_type,
+                        const ClientOptions& options) {
+  std::string request = "POST " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Content-Type: " + content_type + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  return Execute(host, port, request, options);
+}
+
+ClientResponse HttpGet(const std::string& host, int port,
+                       const std::string& path, const ClientOptions& options) {
+  std::string request = "GET " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  return Execute(host, port, request, options);
+}
+
+}  // namespace tg::serve

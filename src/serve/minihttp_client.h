@@ -1,0 +1,54 @@
+// serve/minihttp_client.h — a deliberately small blocking HTTP/1.1 client,
+// just enough to exercise the serve daemon from tests and benches: one
+// request per connection, chunked and Content-Length bodies, streaming
+// consumption with an optional per-read callback (for disconnect tests and
+// time-to-first-byte measurements). Not a general client; no TLS, no
+// keep-alive, no redirects.
+#ifndef TRILLIONG_SERVE_MINIHTTP_CLIENT_H_
+#define TRILLIONG_SERVE_MINIHTTP_CLIENT_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace tg::serve {
+
+struct ClientResponse {
+  /// -1 when the request failed before a status line arrived (connect
+  /// failure, connection reset); `error` says why.
+  int status = -1;
+  /// Header names lower-cased.
+  std::map<std::string, std::string> headers;
+  /// Full body, de-chunked when the transfer was chunked.
+  std::string body;
+  /// True when the connection ended before the body was complete (server
+  /// abort mid-stream — the daemon's cancel path does this deliberately).
+  bool truncated = false;
+  std::string error;
+};
+
+struct ClientOptions {
+  /// Per-read socket timeout; a stream idle this long counts as truncated.
+  int timeout_ms = 30000;
+  /// Called with each body fragment as it arrives (already de-chunked).
+  /// Returning false closes the socket immediately — mid-stream client
+  /// disconnect, exactly what the cancellation tests need.
+  std::function<bool(const char* data, std::size_t n)> on_body;
+};
+
+/// POSTs `body` to http://<host>:<port><path> and blocks until the response
+/// is complete (or truncated / errored).
+ClientResponse HttpPost(const std::string& host, int port,
+                        const std::string& path, const std::string& body,
+                        const std::string& content_type = "application/json",
+                        const ClientOptions& options = {});
+
+/// GET counterpart, for /metrics and friends.
+ClientResponse HttpGet(const std::string& host, int port,
+                       const std::string& path,
+                       const ClientOptions& options = {});
+
+}  // namespace tg::serve
+
+#endif  // TRILLIONG_SERVE_MINIHTTP_CLIENT_H_
